@@ -1,0 +1,10 @@
+"""Benchmark E10 — Epoch-constant C ablation (fidelity note F4).
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E10) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e10_epoch_constant(run_experiment_benchmark):
+    run_experiment_benchmark("E10")

@@ -1,0 +1,10 @@
+"""Benchmark E11 — Geographic gossip on geometric random graphs (reference [6]).
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the predictions.  See EXPERIMENTS.md (E11) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e11_geographic_gossip(run_experiment_benchmark):
+    run_experiment_benchmark("E11")

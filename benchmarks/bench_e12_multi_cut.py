@@ -1,0 +1,10 @@
+"""Benchmark E12 — Multi-cut extension: chains of cliques.
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the predictions.  See EXPERIMENTS.md (E12) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e12_multi_cut(run_experiment_benchmark):
+    run_experiment_benchmark("E12")

@@ -1,0 +1,10 @@
+"""Benchmark E13 — Failure injection: designated-edge death and failover.
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the predictions.  See EXPERIMENTS.md (E13) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e13_failure_injection(run_experiment_benchmark):
+    run_experiment_benchmark("E13")

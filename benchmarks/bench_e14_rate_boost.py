@@ -1,0 +1,10 @@
+"""Benchmark E14 — Bandwidth-vs-algorithm: boosted cut clock vs non-convex swap.
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the predictions.  See EXPERIMENTS.md (E14) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e14_rate_boost(run_experiment_benchmark):
+    run_experiment_benchmark("E14")

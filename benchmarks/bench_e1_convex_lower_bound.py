@@ -1,0 +1,10 @@
+"""Benchmark E1 — Theorem 1: convex lower bound Omega(n1/|E12|) - T_av vs n.
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E1) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e1_convex_lower_bound(run_experiment_benchmark):
+    run_experiment_benchmark("E1")

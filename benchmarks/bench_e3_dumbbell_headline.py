@@ -1,0 +1,10 @@
+"""Benchmark E3 — Headline dumbbell: Omega(n) vs O(log n).
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E3) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e3_dumbbell_headline(run_experiment_benchmark):
+    run_experiment_benchmark("E3")

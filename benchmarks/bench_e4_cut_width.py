@@ -1,0 +1,10 @@
+"""Benchmark E4 — Cut-width sweep: convex ~ n1/|E12|, A insensitive.
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E4) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e4_cut_width(run_experiment_benchmark):
+    run_experiment_benchmark("E4")

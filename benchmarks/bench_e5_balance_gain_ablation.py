@@ -1,0 +1,10 @@
+"""Benchmark E5 — Balance sweep + swap-gain ablation (fidelity note F1).
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E5) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e5_balance_gain_ablation(run_experiment_benchmark):
+    run_experiment_benchmark("E5")

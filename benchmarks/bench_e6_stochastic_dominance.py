@@ -1,0 +1,10 @@
+"""Benchmark E6 — Stochastic dominance: log-variance walk vs dominating walk.
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E6) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e6_stochastic_dominance(run_experiment_benchmark):
+    run_experiment_benchmark("E6")

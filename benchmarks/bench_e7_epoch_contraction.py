@@ -1,0 +1,10 @@
+"""Benchmark E7 — Within-epoch contraction (inequalities 4-8).
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E7) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e7_epoch_contraction(run_experiment_benchmark):
+    run_experiment_benchmark("E7")

@@ -1,0 +1,10 @@
+"""Benchmark E8 — Baseline comparison on the dumbbell.
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E8) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e8_baselines(run_experiment_benchmark):
+    run_experiment_benchmark("E8")

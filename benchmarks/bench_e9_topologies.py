@@ -1,0 +1,10 @@
+"""Benchmark E9 — Topology robustness + well-connectedness regime.
+
+Regenerates the experiment's tables/figures at the configured scale and
+asserts the paper's shape predictions.  See EXPERIMENTS.md (E9) for the
+paper-vs-measured record this produces.
+"""
+
+
+def test_e9_topologies(run_experiment_benchmark):
+    run_experiment_benchmark("E9")

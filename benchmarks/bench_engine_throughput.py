@@ -1,0 +1,80 @@
+"""Engine micro-benchmarks: simulator event throughput and spectral cost.
+
+These are true microbenchmarks (multiple rounds) guarding against
+performance regressions in the hot loop that every experiment depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.clocks.poisson import PoissonEdgeClocks
+from repro.engine.simulator import Simulator
+from repro.experiments.workloads import cut_aligned
+from repro.graphs.composites import two_expanders
+from repro.graphs.spectral import _fiedler_cached, laplacian_spectrum
+from repro.graphs.topologies import random_regular_graph
+
+EVENTS = 200_000
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return two_expanders(128, 128, degree=8, n_bridges=1, seed=0)
+
+
+def test_vanilla_event_throughput(benchmark, pair):
+    """Events/second of the hot loop under vanilla gossip."""
+    x0 = cut_aligned(pair.partition)
+
+    def run():
+        simulator = Simulator(pair.graph, VanillaGossip(), x0, seed=1)
+        return simulator.run(max_events=EVENTS)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.n_events == EVENTS
+    events_per_second = EVENTS / benchmark.stats["mean"]
+    benchmark.extra_info["events_per_second"] = events_per_second
+    # Regression guard: the loop must stay near the ~1M events/s class.
+    assert events_per_second > 100_000
+
+
+def test_algorithm_a_event_throughput(benchmark, pair):
+    """Algorithm A's per-tick dispatch must stay close to vanilla's."""
+    x0 = cut_aligned(pair.partition)
+
+    def run():
+        algorithm = NonConvexSparseCutGossip(pair.partition, epoch_length=4)
+        simulator = Simulator(pair.graph, algorithm, x0, seed=2)
+        return simulator.run(max_events=EVENTS)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.n_events == EVENTS
+    assert EVENTS / benchmark.stats["mean"] > 80_000
+
+
+def test_poisson_clock_generation(benchmark):
+    """Raw clock-stream generation (vectorized superposition)."""
+    clocks = PoissonEdgeClocks(2048, seed=3)
+
+    def run():
+        return clocks.next_batch(100_000)
+
+    times, edges = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(times) == len(edges) == 100_000
+
+
+def test_spectral_toolkit_cost(benchmark):
+    """Dense spectrum of a 256-vertex graph (the Tvan proxy's cost)."""
+    graph = random_regular_graph(256, 8, seed=4)
+
+    def run():
+        laplacian_spectrum.cache_clear()
+        _fiedler_cached.cache_clear()
+        return laplacian_spectrum(graph)
+
+    spectrum = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(spectrum) == 256

@@ -1,0 +1,51 @@
+"""Shared benchmark machinery.
+
+Every experiment benchmark follows the same shape: run the experiment at
+the configured scale (REPRO_SCALE env var, default "default"), record the
+wall time through pytest-benchmark's pedantic mode (one round — these are
+measurements of a Monte-Carlo harness, not microbenchmarks), assert every
+shape check passed, print the regenerated tables/figures, and persist the
+artifacts under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import save_report
+from repro.experiments.specs import run_experiment
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def experiment_scale() -> str:
+    """Scale for experiment benchmarks (env-overridable)."""
+    return os.environ.get("REPRO_SCALE", "default")
+
+
+@pytest.fixture
+def run_experiment_benchmark(benchmark, experiment_scale, capsys):
+    """Run one experiment under pytest-benchmark and validate its checks."""
+
+    def runner(experiment_id: str):
+        report = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, scale=experiment_scale),
+            rounds=1,
+            iterations=1,
+        )
+        save_report(report, RESULTS_DIR)
+        with capsys.disabled():
+            print()
+            print(report.render())
+        failed = [check for check in report.checks if not check.passed]
+        assert not failed, (
+            f"{experiment_id} failed shape checks: "
+            + "; ".join(f"{c.name} ({c.detail})" for c in failed)
+        )
+        return report
+
+    return runner

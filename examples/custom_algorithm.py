@@ -1,0 +1,92 @@
+"""Extending the library: plug in your own gossip algorithm.
+
+Implements a "greedy cut pump" — a naive attempt to beat the bottleneck
+by letting EVERY cut edge push a double-weight convex step — registers it
+with the algorithm registry, and races it against vanilla and Algorithm A
+on a dumbbell.  (Spoiler, per Theorem 1: a convex step of weight > 1 is
+not allowed in class C, and clamping it to stay convex keeps it slow; the
+point of the example is the extension API, and the race makes the paper's
+message concrete.)
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import SparseCutAveraging, VanillaGossip, estimate_averaging_time
+from repro.algorithms.base import GossipAlgorithm
+from repro.algorithms.registry import make_algorithm, register_algorithm
+from repro.experiments.workloads import cut_aligned
+from repro.graphs.composites import dumbbell_graph
+from repro.graphs.partition import Partition
+from repro.util.tables import Table
+
+
+class GreedyCutPump(GossipAlgorithm):
+    """Vanilla inside the sides; maximal convex step (full swap) on the cut.
+
+    The most aggressive member of class C on cut edges: alpha = 0 swaps
+    the two endpoint values outright.  Still convex, still moves only
+    O(1) mass per cut tick, hence still Theorem-1 bound.
+    """
+
+    name = "greedy-cut-pump"
+    conserves_sum = True
+    monotone_variance = True  # alpha = 0 is a permutation: var preserved
+
+    def __init__(self, partition: Partition) -> None:
+        self.partition = partition
+        self._is_cut_edge = np.zeros(partition.graph.n_edges, dtype=bool)
+        self._is_cut_edge[partition.cut_edge_ids] = True
+
+    def on_tick(
+        self,
+        edge_id: int,
+        u: int,
+        v: int,
+        time: float,
+        tick_count: int,
+        values: "Sequence[float]",
+    ) -> "tuple[float, float] | None":
+        if self._is_cut_edge[edge_id]:
+            return values[v], values[u]  # full exchange (alpha = 0)
+        mean = 0.5 * (values[u] + values[v])
+        return mean, mean
+
+
+def main() -> None:
+    pair = dumbbell_graph(48)
+    graph, partition = pair.graph, pair.partition
+    x0 = cut_aligned(partition)
+
+    register_algorithm(
+        "greedy-cut-pump", lambda: GreedyCutPump(partition), overwrite=True
+    )
+    print("registered custom algorithm:",
+          make_algorithm("greedy-cut-pump").name)
+
+    table = Table(["algorithm", "T_av"], title="dumbbell n=48, cut-aligned start")
+    for label, factory in [
+        ("vanilla", VanillaGossip),
+        ("greedy-cut-pump (custom)", lambda: make_algorithm("greedy-cut-pump")),
+    ]:
+        estimate = estimate_averaging_time(
+            graph, factory, x0, n_replicates=4, seed=1, max_time=2000.0
+        )
+        table.add_row([label, estimate.estimate])
+
+    sca = SparseCutAveraging(graph, partition=partition)
+    a_est = sca.averaging_time(x0, n_replicates=4, seed=2)
+    table.add_row(["algorithm A", a_est.estimate])
+    print()
+    print(table.render())
+    print("\nTheorem 1 in action: even the most aggressive convex cut rule "
+          "cannot beat the bottleneck; the non-convex swap can.")
+
+
+if __name__ == "__main__":
+    main()

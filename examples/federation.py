@@ -1,0 +1,73 @@
+"""Federated averaging across a chain of data centers (multi-cut extension).
+
+Scenario: four data centers in a line (each a clique of machines; only
+neighbouring centers share a peering link) must agree on a global metric —
+say the fleet-wide mean request latency.  Every adjacent pair of centers
+is a sparse cut of its own, so the paper's single-cut Algorithm A does not
+apply directly; the library's multi-cut extension designates one swap edge
+per peering link.
+
+Run:  python examples/federation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import VanillaGossip, estimate_averaging_time
+from repro.core.multi_cut import MultiClusterAveraging
+from repro.graphs.clustering import chain_of_cliques, spectral_clusters
+from repro.util.tables import Table
+
+
+def main() -> None:
+    clique_size, n_centers = 32, 4
+    graph, clusters = chain_of_cliques(clique_size, n_centers)
+    print(f"fleet: {n_centers} data centers x {clique_size} machines, "
+          f"{graph.n_edges} links ({n_centers - 1} peering links)")
+
+    # Per-center baseline latencies (ms) + per-machine noise.
+    rng = np.random.default_rng(21)
+    center_latency = np.array([12.0, 19.0, 31.0, 16.0])
+    latencies = center_latency[clusters.labels] + rng.normal(
+        0.0, 1.5, size=graph.n_vertices
+    )
+    fleet_mean = float(latencies.mean())
+    print(f"true fleet-wide mean latency: {fleet_mean:.2f} ms")
+
+    # The operator does not know the topology labels; detect them.
+    detected = spectral_clusters(graph, n_centers)
+    sizes = sorted(detected.cluster_size(c) for c in range(n_centers))
+    print(f"detected centers: {n_centers} clusters of sizes {sizes}")
+
+    mca = MultiClusterAveraging(graph, clusters=detected)
+    summary = mca.summary()
+    print(f"per-link epochs: {summary['epoch_lengths']} "
+          f"(swap gains are pairwise harmonic)")
+
+    result = mca.run(latencies, seed=1, target_ratio=1e-8)
+    print(f"multi-cut consensus: {result.values.mean():.2f} ms after "
+          f"t = {result.duration:.1f}; every machine within "
+          f"{np.max(np.abs(result.values - fleet_mean)):.1e} ms")
+
+    workload = latencies - latencies.mean()
+    vanilla = estimate_averaging_time(
+        graph, VanillaGossip, workload, n_replicates=4, seed=2,
+        max_time=10_000.0,
+    )
+    multi = estimate_averaging_time(
+        graph, mca.build_algorithm, workload, n_replicates=4, seed=3,
+        max_time=10_000.0,
+    )
+    table = Table(["scheme", "T_av"], title="fleet averaging time")
+    table.add_row(["vanilla pairwise gossip", vanilla.estimate])
+    table.add_row(["multi-cut algorithm A", multi.estimate])
+    print()
+    print(table.render())
+    print(f"\nspeedup {vanilla.estimate / multi.estimate:.1f}x — one "
+          f"non-convex swap edge per peering link removes every bottleneck "
+          f"at once")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Load balancing between two racks joined by a thin aggregation link.
+
+Scenario from the diffusive load-balancing literature the paper cites
+([5], Muthukrishnan-Ghosh-Schultz): work items sit on machines; pairwise
+exchanges must equalize load.  Two racks of machines are each well
+connected internally (8-regular random graphs) but share one uplink — the
+paper's sparse-cut regime.  A burst of jobs lands on one machine of rack
+1; we compare how fast each scheme drains the imbalance.
+
+Run:  python examples/load_balancing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AlgorithmAConfig,
+    SparseCutAveraging,
+    VanillaGossip,
+    estimate_averaging_time,
+)
+from repro.algorithms.second_order import SecondOrderDiffusionSync
+from repro.graphs.composites import two_expanders
+from repro.util.tables import Table
+
+
+def main() -> None:
+    pair = two_expanders(48, 48, degree=8, n_bridges=1, seed=5)
+    graph, partition = pair.graph, pair.partition
+    print(f"cluster: 2 racks x 48 machines, 8-regular in-rack mesh, "
+          f"1 uplink ({graph.n_edges} links total)")
+
+    # Burst: 960 jobs land on rack 1 (the rack-local admission queue
+    # spreads them evenly, 20 per machine); rack 2 is idle.  All of the
+    # imbalance therefore sits across the one uplink — the regime where
+    # Theorem 1 bites.
+    load = np.where(partition.side == 0, 20.0, 0.0)
+    target = load.mean()
+    workload = load - target  # zero-mean deviation, what the theory tracks
+    print(f"initial: rack-1 machines hold 20 jobs each, rack 2 idle; "
+          f"balanced load is {target:.0f} per machine")
+
+    table = Table(["scheme", "time to ~2x-balanced (e^-2 variance)"],
+                  title="drain time comparison")
+
+    vanilla = estimate_averaging_time(
+        graph, VanillaGossip, workload, n_replicates=4, seed=1,
+        max_time=5000.0,
+    )
+    table.add_row(["vanilla pairwise exchange", vanilla.estimate])
+
+    solver = SecondOrderDiffusionSync(graph)
+    rounds = solver.rounds_to_ratio(workload, max_rounds=100_000)
+    table.add_row(["second-order diffusion [5] (sync rounds)", float(rounds)])
+
+    # The paper's safety constant C >> 1 covers worst-case mixing; these
+    # racks are strong expanders (in-rack mixing time ~1.5 time units),
+    # so one epoch of C = 1 already mixes them ~14x over.  Tuning C is
+    # exactly what E10's ablation characterizes.
+    sca = SparseCutAveraging(
+        graph, partition=partition, config=AlgorithmAConfig(epoch_constant=1.0)
+    )
+    a_est = sca.averaging_time(workload, n_replicates=4, seed=2)
+    table.add_row(["algorithm A (non-convex uplink swap)", a_est.estimate])
+
+    print()
+    print(table.render())
+
+    result = sca.run(load, seed=3, target_ratio=1e-9)
+    worst = float(np.max(np.abs(result.values - target)))
+    print(f"\nfinal state under algorithm A: every machine within "
+          f"{worst:.2e} jobs of the balanced load "
+          f"(sum drift {result.sum_drift:.2e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Sensor fusion across two buildings with one backbone link.
+
+Scenario: two office buildings, each with a dense mesh of temperature
+sensors (modelled as connected Erdos-Renyi clusters); a single backbone
+link joins them.  The fleet must agree on the campus-average temperature.
+The cut is NOT given — the orchestrator detects it spectrally, exactly
+what a deployment would do.
+
+Run:  python examples/sensor_fusion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SparseCutAveraging, VanillaGossip, estimate_averaging_time
+from repro.graphs.composites import two_erdos_renyi
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    pair = two_erdos_renyi(40, 56, p=0.25, n_bridges=1, seed=11)
+    graph = pair.graph
+    print(f"campus network: {graph.n_vertices} sensors, "
+          f"{graph.n_edges} radio links, 1 backbone link")
+
+    # Building A reads ~21.3 C, building B ~18.1 C, sensor noise 0.2 C.
+    truth = pair.partition
+    temperatures = np.where(truth.side == 0, 21.3, 18.1)
+    temperatures = temperatures + rng.normal(0.0, 0.2, size=len(temperatures))
+    campus_average = float(temperatures.mean())
+    print(f"true campus average: {campus_average:.3f} C")
+
+    # The deployment does not know the partition; detect it.
+    sca = SparseCutAveraging(graph)  # Fiedler sweep inside
+    detected = sca.partition
+    agreement = max(
+        np.mean(detected.side == truth.side),
+        np.mean(detected.side == 1 - truth.side),
+    )
+    print(f"detected cut: {detected.n1}/{detected.n2} split, "
+          f"{detected.cut_size} crossing link(s), "
+          f"side agreement with ground truth {100 * float(agreement):.1f}%")
+
+    result = sca.run(temperatures, seed=1, target_ratio=1e-8)
+    print(f"algorithm A: consensus {result.values.mean():.3f} C after "
+          f"t = {result.duration:.1f} (all sensors within "
+          f"{np.max(np.abs(result.values - campus_average)):.1e} C)")
+
+    vanilla = estimate_averaging_time(
+        graph, VanillaGossip, temperatures - temperatures.mean(),
+        n_replicates=4, seed=2, max_time=4000.0,
+    )
+    a_est = sca.averaging_time(
+        temperatures - temperatures.mean(), n_replicates=4, seed=3
+    )
+    print(f"\naveraging times: vanilla ~ {vanilla.estimate:.1f}, "
+          f"algorithm A ~ {a_est.estimate:.1f} "
+          f"({vanilla.estimate / a_est.estimate:.1f}x faster across the "
+          f"backbone bottleneck)")
+
+
+if __name__ == "__main__":
+    main()

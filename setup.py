@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so ``pip install -e .`` works on
+environments whose setuptools predates native PEP 660 editable installs
+(offline machines without the ``wheel`` package).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Averaging algorithms: the paper's Algorithm A, class-C members, baselines."""
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.algorithms.vanilla import VanillaGossip
+from repro.algorithms.convex import (
+    ConvexGossip,
+    RandomConvexGossip,
+)
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.resilient import ResilientSparseCutGossip
+from repro.algorithms.geographic import GeographicGossip
+from repro.algorithms.two_timescale import TwoTimescaleGossip
+from repro.algorithms.push_sum import PushSumGossip
+from repro.algorithms.second_order import (
+    AsyncSecondOrderGossip,
+    SecondOrderDiffusionSync,
+    optimal_second_order_beta,
+)
+from repro.algorithms.registry import available_algorithms, make_algorithm
+
+__all__ = [
+    "GossipAlgorithm",
+    "VanillaGossip",
+    "ConvexGossip",
+    "RandomConvexGossip",
+    "NonConvexSparseCutGossip",
+    "ResilientSparseCutGossip",
+    "GeographicGossip",
+    "TwoTimescaleGossip",
+    "PushSumGossip",
+    "AsyncSecondOrderGossip",
+    "SecondOrderDiffusionSync",
+    "optimal_second_order_beta",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,69 @@
+"""Name-based algorithm factory.
+
+Experiments refer to algorithms by short names ("vanilla",
+"algorithm-a", ...); this registry turns a name plus keyword arguments into
+a configured instance.  Algorithms that need the sparse cut receive the
+partition through the ``partition`` keyword.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.algorithms.convex import ConvexGossip, RandomConvexGossip
+from repro.algorithms.geographic import GeographicGossip
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.push_sum import PushSumGossip
+from repro.algorithms.resilient import ResilientSparseCutGossip
+from repro.algorithms.second_order import AsyncSecondOrderGossip
+from repro.algorithms.two_timescale import TwoTimescaleGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.errors import AlgorithmError
+
+_FACTORIES: "dict[str, Callable[..., GossipAlgorithm]]" = {
+    "vanilla": VanillaGossip,
+    "convex": ConvexGossip,
+    "random-convex": RandomConvexGossip,
+    "algorithm-a": NonConvexSparseCutGossip,
+    "algorithm-a-resilient": ResilientSparseCutGossip,
+    "two-timescale": TwoTimescaleGossip,
+    "push-sum": PushSumGossip,
+    "async-second-order": AsyncSecondOrderGossip,
+    "geographic": GeographicGossip,
+}
+
+
+def available_algorithms() -> list[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(_FACTORIES)
+
+
+def make_algorithm(name: str, **kwargs: Any) -> GossipAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    >>> make_algorithm("vanilla").name
+    'vanilla'
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_algorithm(
+    name: str, factory: "Callable[..., GossipAlgorithm]", *, overwrite: bool = False
+) -> None:
+    """Register a custom algorithm factory under ``name``.
+
+    Library users extend the experiment harness this way (see
+    ``examples/custom_algorithm.py``).
+    """
+    if name in _FACTORIES and not overwrite:
+        raise AlgorithmError(
+            f"algorithm {name!r} already registered; pass overwrite=True to replace"
+        )
+    _FACTORIES[name] = factory

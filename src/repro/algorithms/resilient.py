@@ -1,0 +1,156 @@
+"""A failure-resilient variant of Algorithm A.
+
+The paper's Algorithm A funnels *all* cross-cut progress through one
+designated edge ``e_c`` — operationally a single point of failure: if that
+link dies (see :class:`repro.clocks.unreliable.FailingEdgeClocks`), the
+two sides never exchange mass again and the algorithm silently stalls.
+Benchmark E13 measures exactly that.
+
+:class:`ResilientSparseCutGossip` adds the obvious recovery rule:
+
+* the designated edge's endpoints emit an implicit heartbeat (its ticks);
+* when another cut edge ticks and observes that the designated edge has
+  been silent for longer than ``silence_timeout`` (default: three epochs'
+  worth of expected ticks), the ticking edge *takes over* as designated —
+  a first-to-tick election, deterministic given the tick sequence;
+* the new designated edge starts a fresh epoch counter (its first swap
+  happens ``epoch_length`` of its own ticks later, preserving the mixing
+  guarantee of inequality (4)).
+
+Decentralization assumption (documented, matching the paper's level of
+abstraction): cut-edge endpoints can observe the designated edge's
+heartbeat.  On a sparse cut this is a constant number of nodes listening
+to one link, the same "local knowledge of the cut" Algorithm A itself
+already assumes (every cut edge must know whether it is ``e_c``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.errors import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+
+
+class ResilientSparseCutGossip(NonConvexSparseCutGossip):
+    """Algorithm A with designated-edge failover.
+
+    Parameters
+    ----------
+    partition, epoch_length, designated_edge, gain, oracle_means:
+        As for :class:`NonConvexSparseCutGossip`.
+    silence_timeout:
+        Take over after the designated edge has been silent this long
+        (absolute time).  Defaults to ``3 * epoch_length`` — three times
+        the expected gap between its ticks... times the epoch; generous
+        enough that a healthy rate-1 clock is silent that long with
+        probability ``exp(-3 L)``.
+    """
+
+    def __init__(
+        self,
+        partition: Partition,
+        *,
+        epoch_length: int,
+        designated_edge: "int | None" = None,
+        gain: "str | float" = "exact",
+        oracle_means: bool = False,
+        silence_timeout: "float | None" = None,
+    ) -> None:
+        super().__init__(
+            partition,
+            epoch_length=epoch_length,
+            designated_edge=designated_edge,
+            gain=gain,
+            oracle_means=oracle_means,
+        )
+        if silence_timeout is None:
+            silence_timeout = 3.0 * float(epoch_length)
+        if silence_timeout <= 0:
+            raise AlgorithmError(
+                f"silence_timeout must be positive, got {silence_timeout}"
+            )
+        self.silence_timeout = float(silence_timeout)
+        self.name = f"algorithm-A-resilient(gain={self._gain_label()})"
+        self._initial_designated = self.designated_edge
+        self._orient_designated(self.designated_edge)
+        self._last_heartbeat = 0.0
+        self._ticks_since_designation = 0
+        self._takeover_count = 0
+
+    def _orient_designated(self, edge_id: int) -> None:
+        """Point the swap endpoints at the given cut edge."""
+        graph = self.partition.graph
+        u, v = graph.edge_endpoints(edge_id)
+        if self.partition.side_of(u) == 0:
+            self._endpoint_v1, self._endpoint_v2 = u, v
+        else:
+            self._endpoint_v1, self._endpoint_v2 = v, u
+        self.designated_edge = edge_id
+
+    @property
+    def takeover_count(self) -> int:
+        """How many failovers have happened since setup."""
+        return self._takeover_count
+
+    def setup(
+        self, graph: Graph, values: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        super().setup(graph, values, rng)
+        self._orient_designated(self._initial_designated)
+        self._last_heartbeat = 0.0
+        self._ticks_since_designation = 0
+        self._takeover_count = 0
+
+    def on_tick(
+        self,
+        edge_id: int,
+        u: int,
+        v: int,
+        time: float,
+        tick_count: int,
+        values: "Sequence[float]",
+    ) -> "tuple[float, float] | None":
+        if not self._is_cut_edge[edge_id]:
+            mean = 0.5 * (values[u] + values[v])
+            return mean, mean
+        if edge_id != self.designated_edge:
+            # A live cut edge observing prolonged silence takes over.
+            if time - self._last_heartbeat > self.silence_timeout:
+                self._orient_designated(edge_id)
+                self._takeover_count += 1
+                self._last_heartbeat = time
+                self._ticks_since_designation = 1
+            return None
+        # Heartbeat from the designated edge.
+        self._last_heartbeat = time
+        self._ticks_since_designation += 1
+        if self._ticks_since_designation % self.epoch_length != 0:
+            return None
+        self._swap_count += 1
+        a, b = self._endpoint_v1, self._endpoint_v2
+        if self.oracle_means:
+            snapshot = np.asarray(values, dtype=np.float64)
+            delta = float(
+                snapshot[self.partition.vertices_2].mean()
+                - snapshot[self.partition.vertices_1].mean()
+            )
+        else:
+            delta = float(values[b] - values[a])
+        transfer = self.gain * delta
+        new_a = float(values[a]) + transfer
+        new_b = float(values[b]) - transfer
+        if u == a:
+            return new_a, new_b
+        return new_b, new_a
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["name"] = self.name
+        info["silence_timeout"] = self.silence_timeout
+        info["takeover_count"] = self._takeover_count
+        return info

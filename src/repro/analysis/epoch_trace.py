@@ -1,0 +1,126 @@
+"""Epoch-boundary traces of the Section-3 potentials.
+
+The paper's inequalities (4)-(8) constrain how ``sigma`` and ``mu`` evolve
+across one epoch of Algorithm A (``T_k^+ -> T_{k+1}^-`` mixing, then the
+swap to ``T_{k+1}^+``).  The engine samples traces on an event grid, not
+at epoch boundaries, so this module drives its own exact replay: the same
+Poisson clock model, the same updates, but with the state captured
+immediately before and after every swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.analysis.potential import decompose
+from repro.clocks.poisson import PoissonEdgeClocks
+from repro.errors import AnalysisError
+from repro.graphs.partition import Partition
+from repro.util.rng import as_generator
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Potentials around one epoch ``k``.
+
+    ``*_start`` is just after the previous swap (``T_k^+``; for the first
+    epoch, the initial state), ``*_pre_swap`` just before this epoch's
+    swap (``T_{k+1}^-``), ``*_end`` just after it (``T_{k+1}^+``).
+    """
+
+    sigma_start: float
+    sigma_pre_swap: float
+    sigma_end: float
+    mu_start: float
+    mu_pre_swap: float
+    mu_end: float
+    variance_start: float
+    variance_end: float
+    duration: float
+
+    @property
+    def sigma_contraction(self) -> float:
+        """``sigma(T_{k+1}^-) / sigma(T_k^+)`` (inf if start was 0)."""
+        if self.sigma_start == 0.0:
+            return float("inf") if self.sigma_pre_swap > 0 else 0.0
+        return self.sigma_pre_swap / self.sigma_start
+
+    @property
+    def variance_contraction(self) -> float:
+        """``var(T_{k+1}^+) / var(T_k^+)`` — inequality (8)'s subject."""
+        if self.variance_start == 0.0:
+            return float("inf") if self.variance_end > 0 else 0.0
+        return self.variance_end / self.variance_start
+
+
+def epoch_potential_trace(
+    partition: Partition,
+    initial_values: "Sequence[float]",
+    *,
+    epoch_length: int,
+    n_epochs: int,
+    gain: "str | float" = "exact",
+    seed: "int | np.random.Generator | None" = None,
+) -> list[EpochRecord]:
+    """Replay Algorithm A capturing potentials at every epoch boundary."""
+    if n_epochs < 1:
+        raise AnalysisError(f"n_epochs must be positive, got {n_epochs}")
+    algorithm = NonConvexSparseCutGossip(
+        partition, epoch_length=epoch_length, gain=gain
+    )
+    graph = partition.graph
+    values = np.asarray(initial_values, dtype=np.float64).copy()
+    if values.shape != (graph.n_vertices,):
+        raise AnalysisError(
+            f"initial_values must have shape ({graph.n_vertices},), "
+            f"got {values.shape}"
+        )
+    rng = as_generator(seed)
+    clocks = PoissonEdgeClocks(graph.n_edges, seed=rng)
+    algorithm.setup(graph, values, rng)
+
+    edges_u = graph.edges[:, 0]
+    edges_v = graph.edges[:, 1]
+    tick_counts = np.zeros(graph.n_edges, dtype=np.int64)
+
+    records: list[EpochRecord] = []
+    start = decompose(values, partition)
+    epoch_start_time = 0.0
+    while len(records) < n_epochs:
+        times, edge_ids = clocks.next_batch(4096)
+        for t, e in zip(times.tolist(), edge_ids.tolist()):
+            tick_counts[e] += 1
+            u, v = int(edges_u[e]), int(edges_v[e])
+            is_swap_tick = (
+                e == algorithm.designated_edge
+                and tick_counts[e] % epoch_length == 0
+            )
+            if is_swap_tick:
+                pre = decompose(values, partition)
+            result = algorithm.on_tick(e, u, v, t, int(tick_counts[e]), values)
+            if result is not None:
+                values[u], values[v] = result
+            if is_swap_tick:
+                end = decompose(values, partition)
+                records.append(
+                    EpochRecord(
+                        sigma_start=start.sigma,
+                        sigma_pre_swap=pre.sigma,
+                        sigma_end=end.sigma,
+                        mu_start=start.paper_mu,
+                        mu_pre_swap=pre.paper_mu,
+                        mu_end=end.paper_mu,
+                        variance_start=start.variance,
+                        variance_end=end.variance,
+                        duration=t - epoch_start_time,
+                    )
+                )
+                start = end
+                epoch_start_time = t
+                if len(records) >= n_epochs:
+                    break
+    return records

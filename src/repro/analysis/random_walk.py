@@ -1,0 +1,145 @@
+"""Random-walk toolkit backing the paper's Section-3 argument.
+
+Three objects from the proof of Theorem 2:
+
+* the **simple random walk** ``S_k`` (+1/-1 fair steps) and its
+  sub-Gaussian maximal tail (the paper's Theorem 3:
+  ``P[S_n >= s sqrt(n)] <= c e^{-beta s^2}``);
+* the **dominating walk** ``W~_k`` with increments ``+log n`` w.p. 1/2 and
+  ``-(3/2) log n`` w.p. 1/2 — the paper couples ``log var X(T_k^+)``
+  below it;
+* the **settling time** ``inf { t0 : P[ forall T > t0 : W~_T <= -2 ] > 1 - 1/e }``
+  — the quantity that upper-bounds the number of epochs Algorithm A needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.util.rng import as_generator
+
+
+def simple_random_walk_paths(
+    n_steps: int, n_paths: int, *, seed: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """``(n_paths, n_steps + 1)`` array of fair +-1 walks from 0."""
+    if n_steps < 1 or n_paths < 1:
+        raise AnalysisError("n_steps and n_paths must be positive")
+    rng = as_generator(seed)
+    steps = rng.choice((-1.0, 1.0), size=(n_paths, n_steps))
+    paths = np.zeros((n_paths, n_steps + 1))
+    paths[:, 1:] = np.cumsum(steps, axis=1)
+    return paths
+
+
+def theorem3_tail_bound(s: float, *, c: float = 2.0, beta: float = 0.5) -> float:
+    """The paper's Theorem-3 envelope ``c * exp(-beta s^2)``.
+
+    For the simple walk, Hoeffding gives ``P[S_n >= s sqrt(n)] <=
+    exp(-s^2 / 2)``, i.e. the bound holds with ``c = 1``, ``beta = 1/2``;
+    the defaults ``c = 2`` cover the two-sided version.
+    """
+    if s < 0:
+        raise AnalysisError(f"s must be non-negative, got {s}")
+    return c * math.exp(-beta * s * s)
+
+
+def tail_probability_estimate(
+    n_steps: int,
+    s: float,
+    *,
+    n_paths: int = 4_000,
+    seed: "int | np.random.Generator | None" = None,
+) -> float:
+    """Monte-Carlo estimate of ``P[S_n >= s sqrt(n)]`` for the fair walk."""
+    paths = simple_random_walk_paths(n_steps, n_paths, seed=seed)
+    final = paths[:, -1]
+    return float(np.mean(final >= s * math.sqrt(n_steps)))
+
+
+def dominating_walk_increments(
+    n_steps: int,
+    n: int,
+    *,
+    n_paths: int = 1,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Increments of the paper's dominating walk ``W~`` for graph size ``n``.
+
+    Each increment is ``+log n`` with probability 1/2 and ``-(3/2) log n``
+    with probability 1/2 (Eqs. 13-14).  Shape ``(n_paths, n_steps)``.
+    """
+    if n < 2:
+        raise AnalysisError(f"graph size n must be >= 2, got {n}")
+    if n_steps < 1 or n_paths < 1:
+        raise AnalysisError("n_steps and n_paths must be positive")
+    rng = as_generator(seed)
+    log_n = math.log(n)
+    coins = rng.random((n_paths, n_steps)) < 0.5
+    return np.where(coins, log_n, -1.5 * log_n)
+
+
+def dominating_walk_paths(
+    n_steps: int,
+    n: int,
+    *,
+    n_paths: int = 1,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Paths of ``W~`` from 0; shape ``(n_paths, n_steps + 1)``.
+
+    ``E[W~_k] = -k log(n) / 4`` (mean increment
+    ``(1/2)(log n) + (1/2)(-(3/2) log n) = -(1/4) log n``; the paper
+    states ``-(1/2) log n`` — a small arithmetic slip that does not affect
+    the argument, since only negativity of the drift is used).
+    """
+    increments = dominating_walk_increments(
+        n_steps, n, n_paths=n_paths, seed=seed
+    )
+    paths = np.zeros((increments.shape[0], n_steps + 1))
+    paths[:, 1:] = np.cumsum(increments, axis=1)
+    return paths
+
+
+def time_to_stay_below(paths: np.ndarray, level: float) -> np.ndarray:
+    """For each path, the first index after which it never exceeds ``level``.
+
+    Returns, per path, the smallest ``t0`` such that ``path[T] <= level``
+    for all ``T > t0`` *within the simulated horizon*; paths still above
+    the level at the end are censored to ``n_steps`` (the horizon).
+    """
+    array = np.asarray(paths, dtype=np.float64)
+    if array.ndim != 2:
+        raise AnalysisError("paths must be a 2-D array (n_paths, n_steps+1)")
+    n_paths, length = array.shape
+    out = np.empty(n_paths, dtype=np.int64)
+    for i in range(n_paths):
+        above = np.flatnonzero(array[i] > level)
+        # Position 0 (value 0 > negative level) always counts; the last
+        # index above the level is the settling time.
+        out[i] = int(above[-1]) if above.size else 0
+    return out
+
+
+def settling_time_estimate(
+    n: int,
+    *,
+    level: float = -2.0,
+    confidence: float = 1.0 - 1.0 / math.e,
+    horizon: int = 512,
+    n_paths: int = 2_000,
+    seed: "int | np.random.Generator | None" = None,
+) -> float:
+    """Monte-Carlo ``t0`` with ``P[forall T > t0: W~_T <= level] >= confidence``.
+
+    The paper's final step shows this ``t0`` is a constant independent of
+    ``n``; the E6 benchmark tabulates it across ``n`` to exhibit that.
+    """
+    if not 0 < confidence < 1:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    paths = dominating_walk_paths(horizon, n, n_paths=n_paths, seed=seed)
+    times = time_to_stay_below(paths, level)
+    return float(np.quantile(times, confidence))

@@ -1,0 +1,72 @@
+"""Closed-form spectral facts for standard families (test oracles).
+
+Known algebraic connectivities let the spectral toolkit be validated
+without trusting the numerics it is itself built on, and the expected
+variance decay rate gives a per-state version of the Dirichlet-form
+argument behind the ``Tvan`` spectral proxy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.graphs.graph import Graph
+from repro.graphs.spectral import laplacian_matrix
+
+
+def exact_algebraic_connectivity(family: str, n: int) -> float:
+    """``lambda_2(L)`` for named families.
+
+    Supported: ``complete`` (= n), ``path`` (= 2(1 - cos(pi/n))),
+    ``cycle`` (= 2(1 - cos(2 pi/n))), ``star`` (= 1),
+    ``hypercube`` (= 2, n = dimension).
+    """
+    if n < 2:
+        raise AnalysisError(f"need n >= 2, got {n}")
+    if family == "complete":
+        return float(n)
+    if family == "path":
+        return 2.0 * (1.0 - math.cos(math.pi / n))
+    if family == "cycle":
+        return 2.0 * (1.0 - math.cos(2.0 * math.pi / n))
+    if family == "star":
+        return 1.0
+    if family == "hypercube":
+        return 2.0
+    raise AnalysisError(
+        f"unknown family {family!r}; expected complete/path/cycle/star/hypercube"
+    )
+
+
+def expected_variance_decay_rate(graph: Graph, values: "Sequence[float]") -> float:
+    """Instantaneous expected decay of ``sum_i (x_i - mean)^2``.
+
+    Under rate-1 edge clocks and vanilla updates, the generator gives
+
+        ``d/dt E[Phi(x(t))] = - (1/2) x^T L x``
+
+    (each edge tick removes ``(x_i - x_j)^2 / 2``; edges tick at rate 1).
+    Returned as a positive rate; zero exactly when ``x`` is constant on
+    every connected component.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.shape != (graph.n_vertices,):
+        raise AnalysisError(
+            f"values must have shape ({graph.n_vertices},), got {array.shape}"
+        )
+    dirichlet = float(array @ laplacian_matrix(graph) @ array)
+    return 0.5 * dirichlet
+
+
+def vanilla_variance_halving_time(graph: Graph) -> float:
+    """Time for expected variance to halve: ``2 ln 2 / lambda_2``."""
+    from repro.graphs.spectral import algebraic_connectivity
+
+    gap = algebraic_connectivity(graph)
+    if gap <= 0:
+        raise AnalysisError("halving time infinite: graph disconnected")
+    return 2.0 * math.log(2.0) / gap

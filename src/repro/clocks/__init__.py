@@ -1,0 +1,17 @@
+"""Edge-clock processes: Poisson clocks (the paper's model) and test schedules."""
+
+from repro.clocks.events import EdgeTick
+from repro.clocks.poisson import PoissonEdgeClocks
+from repro.clocks.schedule import RoundRobinSchedule, ScriptedSchedule
+from repro.clocks.counters import TickCounters
+from repro.clocks.unreliable import FailingEdgeClocks, LossyClocks
+
+__all__ = [
+    "EdgeTick",
+    "PoissonEdgeClocks",
+    "RoundRobinSchedule",
+    "ScriptedSchedule",
+    "TickCounters",
+    "FailingEdgeClocks",
+    "LossyClocks",
+]

@@ -1,0 +1,54 @@
+"""Per-edge tick counters.
+
+Algorithm A's schedule is phrased in terms of "the k-th tick of edge e_c",
+so the engine keeps an exact per-edge tick count.  This tiny class wraps
+the bookkeeping with validation and a couple of convenience queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TickCounters:
+    """Counts how many times each edge's clock has ticked."""
+
+    def __init__(self, n_edges: int) -> None:
+        if n_edges < 1:
+            raise ValueError(f"n_edges must be positive, got {n_edges}")
+        self._counts = np.zeros(n_edges, dtype=np.int64)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of tracked edges."""
+        return len(self._counts)
+
+    @property
+    def total(self) -> int:
+        """Total ticks across all edges."""
+        return int(self._counts.sum())
+
+    def count(self, edge_id: int) -> int:
+        """Tick count of ``edge_id`` so far."""
+        self._check(edge_id)
+        return int(self._counts[edge_id])
+
+    def record(self, edge_id: int) -> int:
+        """Record one tick of ``edge_id``; returns the new count (1-based)."""
+        self._check(edge_id)
+        self._counts[edge_id] += 1
+        return int(self._counts[edge_id])
+
+    def counts(self) -> np.ndarray:
+        """Copy of the per-edge count array."""
+        return self._counts.copy()
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counts[:] = 0
+
+    def _check(self, edge_id: int) -> None:
+        if not 0 <= edge_id < len(self._counts):
+            raise ValueError(
+                f"edge id {edge_id} out of range for {len(self._counts)} edges"
+            )

@@ -1,0 +1,44 @@
+"""Event types shared by clock processes and the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class EdgeTick:
+    """A single clock tick: edge ``edge_id`` fires at absolute ``time``.
+
+    Ordering is by time (then edge id), so ticks sort chronologically.
+    """
+
+    time: float
+    edge_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"tick time must be non-negative, got {self.time}")
+        if self.edge_id < 0:
+            raise ValueError(f"edge id must be non-negative, got {self.edge_id}")
+
+
+class ClockProcess(Protocol):
+    """Protocol every clock source implements.
+
+    A clock process produces a chronological stream of edge ticks.  The
+    engine consumes ticks in batches for speed; a batch is a pair of
+    parallel arrays ``(times, edge_ids)`` with ``times`` non-decreasing and
+    continuing from the previous batch.
+    """
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges whose clocks this process models."""
+        ...
+
+    def next_batch(self, max_events: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Produce up to ``max_events`` further ticks (times, edge ids)."""
+        ...

@@ -1,0 +1,119 @@
+"""Failure injection: lossy and dying edge clocks.
+
+Robustness experiments wrap the Poisson process with two failure models:
+
+* :class:`LossyClocks` — each tick is independently dropped with a
+  per-edge probability (message loss).  A dropped tick simply never
+  reaches the algorithm; by Poisson thinning, edge ``e`` behaves exactly
+  like a clock of rate ``1 - p_e``.
+* :class:`FailingEdgeClocks` — each edge dies at an exponential lifetime
+  (or a scripted instant) and never ticks again (link failure).  Useful
+  to ask the paper's obvious operational question: what happens to
+  Algorithm A when its *designated* cut edge dies?
+
+Both wrap any inner clock process and preserve the batch protocol, so
+simulators are oblivious to the failure model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+
+class LossyClocks:
+    """Drop each tick of edge ``e`` independently with probability ``p_e``."""
+
+    def __init__(
+        self,
+        inner: object,
+        drop_probability: "float | Sequence[float]",
+        *,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        n_edges = int(getattr(inner, "n_edges"))
+        probabilities = np.broadcast_to(
+            np.asarray(drop_probability, dtype=np.float64), (n_edges,)
+        ).copy()
+        if np.any(probabilities < 0) or np.any(probabilities >= 1):
+            raise ValueError("drop probabilities must lie in [0, 1)")
+        self._inner = inner
+        self._drop = probabilities
+        self._rng = as_generator(seed)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges of the wrapped process."""
+        return int(getattr(self._inner, "n_edges"))
+
+    def next_batch(self, max_events: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Surviving ticks from the inner process (possibly fewer)."""
+        times, edges = self._inner.next_batch(max_events)
+        if len(times) == 0:
+            return times, edges
+        keep = self._rng.random(len(times)) >= self._drop[edges]
+        return times[keep], edges[keep]
+
+
+class FailingEdgeClocks:
+    """Edges die permanently; dead edges emit no further ticks.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped clock process.
+    failure_times:
+        Either a mapping ``edge_id -> absolute death time`` (scripted
+        failures; unlisted edges never die) or a positive float ``rate``:
+        every edge independently dies at an ``Exponential(rate)`` time.
+    """
+
+    def __init__(
+        self,
+        inner: object,
+        failure_times: "Mapping[int, float] | float",
+        *,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        n_edges = int(getattr(inner, "n_edges"))
+        deaths = np.full(n_edges, np.inf)
+        if isinstance(failure_times, (int, float)) and not isinstance(
+            failure_times, bool
+        ):
+            rate = float(failure_times)
+            if rate <= 0:
+                raise ValueError(f"failure rate must be positive, got {rate}")
+            rng = as_generator(seed)
+            deaths = rng.exponential(1.0 / rate, size=n_edges)
+        else:
+            for edge_id, death in failure_times.items():
+                if not 0 <= int(edge_id) < n_edges:
+                    raise ValueError(
+                        f"edge id {edge_id} out of range for {n_edges} edges"
+                    )
+                if death < 0:
+                    raise ValueError(f"death time must be >= 0, got {death}")
+                deaths[int(edge_id)] = float(death)
+        self._inner = inner
+        self._deaths = deaths
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges of the wrapped process."""
+        return int(getattr(self._inner, "n_edges"))
+
+    @property
+    def death_times(self) -> np.ndarray:
+        """Copy of per-edge death times (inf = immortal)."""
+        return self._deaths.copy()
+
+    def next_batch(self, max_events: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Ticks of still-alive edges (dead edges' ticks are removed)."""
+        times, edges = self._inner.next_batch(max_events)
+        if len(times) == 0:
+            return times, edges
+        alive = times < self._deaths[edges]
+        return times[alive], edges[alive]

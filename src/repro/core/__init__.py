@@ -1,0 +1,20 @@
+"""High-level public API: configure and run Algorithm A end to end."""
+
+from repro.core.epochs import (
+    epoch_length_ticks,
+    vanilla_time_empirical,
+    vanilla_time_spectral,
+)
+from repro.core.config import AlgorithmAConfig
+from repro.core.sparse_cut_averaging import SparseCutAveraging
+from repro.core.multi_cut import MultiClusterAveraging, MultiCutGossip
+
+__all__ = [
+    "epoch_length_ticks",
+    "vanilla_time_empirical",
+    "vanilla_time_spectral",
+    "AlgorithmAConfig",
+    "SparseCutAveraging",
+    "MultiClusterAveraging",
+    "MultiCutGossip",
+]

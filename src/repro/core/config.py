@@ -1,0 +1,66 @@
+"""Configuration dataclasses for the high-level API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.epochs import DEFAULT_EPOCH_CONSTANT
+from repro.errors import AlgorithmError
+
+
+@dataclass(frozen=True)
+class AlgorithmAConfig:
+    """Tunable knobs of Algorithm A, with paper-faithful defaults.
+
+    Attributes
+    ----------
+    epoch_constant:
+        The paper's ``C`` (default 3; the paper only says ``C >> 1``).
+    gain:
+        Swap gain convention: ``"exact"`` (default; the harmonic gain the
+        paper's analysis needs), ``"paper"`` (the literal ``n1``), or a
+        float (see :mod:`repro.algorithms.nonconvex`).
+    tvan_method:
+        How ``Tvan(Gi)`` is estimated for the epoch length:
+        ``"spectral"`` (default) or ``"empirical"``.
+    oracle_means:
+        Idealized swap using true side means (analysis only).
+    epoch_length_override:
+        Explicit ``L``, bypassing the formula (ablations).
+    designated_edge:
+        Explicit edge id for ``e_c``; default is the lowest-id cut edge.
+    """
+
+    epoch_constant: float = DEFAULT_EPOCH_CONSTANT
+    gain: "str | float" = "exact"
+    tvan_method: str = "spectral"
+    oracle_means: bool = False
+    epoch_length_override: "int | None" = None
+    designated_edge: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.epoch_constant <= 0:
+            raise AlgorithmError(
+                f"epoch_constant must be positive, got {self.epoch_constant}"
+            )
+        if self.tvan_method not in ("spectral", "empirical"):
+            raise AlgorithmError(
+                f"tvan_method must be 'spectral' or 'empirical', "
+                f"got {self.tvan_method!r}"
+            )
+        if self.epoch_length_override is not None and self.epoch_length_override < 1:
+            raise AlgorithmError(
+                f"epoch_length_override must be >= 1, "
+                f"got {self.epoch_length_override}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-dict view for serialization."""
+        return {
+            "epoch_constant": self.epoch_constant,
+            "gain": self.gain,
+            "tvan_method": self.tvan_method,
+            "oracle_means": self.oracle_means,
+            "epoch_length_override": self.epoch_length_override,
+            "designated_edge": self.designated_edge,
+        }

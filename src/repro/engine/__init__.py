@@ -1,0 +1,31 @@
+"""Event-driven simulation engine for edge-clock gossip."""
+
+from repro.engine.results import Crossing, RunResult
+from repro.engine.recorder import TraceRecorder
+from repro.engine.simulator import Simulator, simulate
+from repro.engine.runner import MonteCarloRunner, ReplicateSummary
+from repro.engine.averaging_time import (
+    AveragingTimeEstimate,
+    PAPER_VARIANCE_THRESHOLD,
+    PAPER_CONFIDENCE_QUANTILE,
+    epsilon_averaging_time,
+    estimate_averaging_time,
+)
+from repro.engine.metrics import variance_of, variance_ratio
+
+__all__ = [
+    "Crossing",
+    "RunResult",
+    "TraceRecorder",
+    "Simulator",
+    "simulate",
+    "MonteCarloRunner",
+    "ReplicateSummary",
+    "AveragingTimeEstimate",
+    "PAPER_VARIANCE_THRESHOLD",
+    "PAPER_CONFIDENCE_QUANTILE",
+    "epsilon_averaging_time",
+    "estimate_averaging_time",
+    "variance_of",
+    "variance_ratio",
+]

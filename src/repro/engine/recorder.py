@@ -1,0 +1,91 @@
+"""Trace recording for simulation runs.
+
+A :class:`TraceRecorder` samples the trajectory every ``sample_every``
+events: time, variance, and any custom probes (named functions of the
+value vector).  Sampling is amortized — the engine touches the recorder
+only at sampling points, so even dense probes (e.g. the paper's
+``(mu1, mu2, sigma)`` decomposition) cost nothing between samples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+
+class TraceRecorder:
+    """Samples (time, variance, probes...) along a trajectory.
+
+    Parameters
+    ----------
+    sample_every:
+        Record one sample per this many events (>= 1).  A sample is also
+        taken at time 0 and after the final event.
+    probes:
+        Optional mapping ``name -> fn(values_array) -> float``; each probe
+        is evaluated at every sampling point.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 1_000,
+        *,
+        probes: "Mapping[str, Callable[[np.ndarray], float]] | None" = None,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = int(sample_every)
+        self._probes = dict(probes) if probes else {}
+        self._times: list[float] = []
+        self._variances: list[float] = []
+        self._probe_values: "dict[str, list[float]]" = {
+            name: [] for name in self._probes
+        }
+
+    # ------------------------------------------------------------------
+    # engine-facing interface
+    # ------------------------------------------------------------------
+
+    def record(self, time: float, variance: float, values: "Sequence[float]") -> None:
+        """Store one sample (called by the engine; users read the arrays)."""
+        self._times.append(time)
+        self._variances.append(variance)
+        if self._probes:
+            array = np.asarray(values, dtype=np.float64)
+            for name, fn in self._probes.items():
+                self._probe_values[name].append(float(fn(array)))
+
+    # ------------------------------------------------------------------
+    # user-facing accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def variances(self) -> np.ndarray:
+        """Variance at each sample time."""
+        return np.asarray(self._variances, dtype=np.float64)
+
+    def probe(self, name: str) -> np.ndarray:
+        """Sampled values of the named probe."""
+        if name not in self._probe_values:
+            raise KeyError(
+                f"unknown probe {name!r}; available: {sorted(self._probe_values)}"
+            )
+        return np.asarray(self._probe_values[name], dtype=np.float64)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples stored so far."""
+        return len(self._times)
+
+    def clear(self) -> None:
+        """Drop all stored samples (recorders are reusable across runs)."""
+        self._times.clear()
+        self._variances.clear()
+        for values in self._probe_values.values():
+            values.clear()

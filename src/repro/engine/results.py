@@ -1,0 +1,117 @@
+"""Result containers produced by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Crossing:
+    """Threshold-crossing bookkeeping for one variance-ratio threshold.
+
+    For a threshold ``r`` the engine tracks the trajectory of
+    ``var X(t) / var X(0)``:
+
+    * ``first_below`` — the time of the first event after which the ratio
+      was ``<= r`` (``None`` if that never happened);
+    * ``last_above`` — the time of the last event at which the ratio was
+      still ``> r`` (0.0 if the run started at or below the threshold,
+      which cannot happen for ``r < 1`` since the ratio starts at 1).
+
+    The paper's averaging time (Definition 1) is built from *last* crossing
+    times: ``T_av`` must outlast every future excursion above ``e^{-2}``.
+    For variance-monotone algorithms the two coincide.
+    """
+
+    threshold: float
+    first_below: "float | None" = None
+    last_above: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict view for serialization."""
+        return {
+            "threshold": self.threshold,
+            "first_below": self.first_below,
+            "last_above": self.last_above,
+        }
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated trajectory.
+
+    Attributes
+    ----------
+    values:
+        Final value vector.
+    duration:
+        Absolute time of the last processed event.
+    n_events:
+        Total clock ticks processed.
+    n_updates:
+        Ticks on which the algorithm actually changed values (Algorithm A
+        silences most cut ticks, so ``n_updates < n_events`` there).
+    variance_initial, variance_final:
+        Population variance of the value vector at start and end.
+    sum_initial, sum_final:
+        Value sums at start and end; for sum-conserving algorithms the
+        drift is pure floating-point noise and is asserted in tests.
+    crossings:
+        Per-threshold crossing records, keyed by threshold.
+    stopped_by:
+        Which budget ended the run: ``"target_ratio"``, ``"max_time"``,
+        ``"max_events"`` or ``"clock_exhausted"``.
+    trace_times, trace_variances:
+        Optional sampled trace (present when a recorder was attached).
+    """
+
+    values: np.ndarray
+    duration: float
+    n_events: int
+    n_updates: int
+    variance_initial: float
+    variance_final: float
+    sum_initial: float
+    sum_final: float
+    crossings: "dict[float, Crossing]" = field(default_factory=dict)
+    stopped_by: str = "unknown"
+    trace_times: "np.ndarray | None" = None
+    trace_variances: "np.ndarray | None" = None
+
+    @property
+    def variance_ratio(self) -> float:
+        """``var_final / var_initial`` (inf if started at zero variance)."""
+        if self.variance_initial == 0.0:
+            return float("inf") if self.variance_final > 0 else 0.0
+        return self.variance_final / self.variance_initial
+
+    @property
+    def sum_drift(self) -> float:
+        """Absolute drift of the value sum over the run."""
+        return abs(self.sum_final - self.sum_initial)
+
+    def crossing(self, threshold: float) -> Crossing:
+        """The crossing record for ``threshold`` (must have been tracked)."""
+        try:
+            return self.crossings[threshold]
+        except KeyError:
+            tracked = sorted(self.crossings)
+            raise KeyError(
+                f"threshold {threshold} was not tracked; tracked: {tracked}"
+            ) from None
+
+    def to_dict(self) -> dict:
+        """Plain-dict summary (omits the full value vector and trace)."""
+        return {
+            "duration": self.duration,
+            "n_events": self.n_events,
+            "n_updates": self.n_updates,
+            "variance_initial": self.variance_initial,
+            "variance_final": self.variance_final,
+            "variance_ratio": self.variance_ratio,
+            "sum_drift": self.sum_drift,
+            "stopped_by": self.stopped_by,
+            "crossings": {str(k): v.to_dict() for k, v in self.crossings.items()},
+        }

@@ -1,0 +1,130 @@
+"""Monte-Carlo replication over independent clock/workload randomness.
+
+The paper's quantities are probabilistic (``T_av`` is a quantile over the
+randomness of the Poisson clocks), so every measurement replays the same
+configuration under independent seeds.  :class:`MonteCarloRunner` owns the
+seed bookkeeping and collects per-replicate :class:`RunResult` objects plus
+a compact :class:`ReplicateSummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.engine.results import RunResult
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+from repro.util.rng import spawn_generators
+
+
+@dataclass
+class ReplicateSummary:
+    """Aggregate view over a list of replicate results."""
+
+    n_replicates: int
+    mean_duration: float
+    mean_events: float
+    mean_variance_ratio: float
+    max_sum_drift: float
+
+    @classmethod
+    def from_results(cls, results: "Sequence[RunResult]") -> "ReplicateSummary":
+        if not results:
+            raise SimulationError("cannot summarize zero replicates")
+        return cls(
+            n_replicates=len(results),
+            mean_duration=float(np.mean([r.duration for r in results])),
+            mean_events=float(np.mean([r.n_events for r in results])),
+            mean_variance_ratio=float(
+                np.mean([r.variance_ratio for r in results])
+            ),
+            max_sum_drift=float(max(r.sum_drift for r in results)),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict view for serialization."""
+        return {
+            "n_replicates": self.n_replicates,
+            "mean_duration": self.mean_duration,
+            "mean_events": self.mean_events,
+            "mean_variance_ratio": self.mean_variance_ratio,
+            "max_sum_drift": self.max_sum_drift,
+        }
+
+
+class MonteCarloRunner:
+    """Run one configuration under many independent random streams.
+
+    Parameters
+    ----------
+    graph:
+        The graph to simulate on.
+    algorithm_factory:
+        Zero-argument callable producing a fresh (or resettable) algorithm
+        per replicate.  Pass ``lambda: algo`` to reuse one instance —
+        algorithms are required to fully reset in ``setup``.
+    initial_values:
+        Either a fixed vector used by every replicate, or a callable
+        ``rng -> vector`` sampling a workload per replicate.
+    seed:
+        Root seed; replicate ``i`` derives stream ``i`` deterministically.
+    clock_factory:
+        Optional callable ``rng -> clock process`` building each
+        replicate's clock (boosted rates, failure injection...).  Default
+        is the standard rate-1 Poisson model.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm_factory: "Callable[[], GossipAlgorithm]",
+        initial_values: "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]",
+        *,
+        seed: "int | None" = None,
+        clock_factory: "Callable[[np.random.Generator], object] | None" = None,
+    ) -> None:
+        self.graph = graph
+        self.algorithm_factory = algorithm_factory
+        self.initial_values = initial_values
+        self.seed = seed
+        self.clock_factory = clock_factory
+
+    def run(self, n_replicates: int, **run_kwargs: object) -> list[RunResult]:
+        """Execute ``n_replicates`` independent runs; kwargs go to ``run``."""
+        if n_replicates < 1:
+            raise SimulationError(
+                f"n_replicates must be positive, got {n_replicates}"
+            )
+        # Two independent streams per replicate: clocks and workload.
+        streams = spawn_generators(self.seed, 2 * n_replicates)
+        results: list[RunResult] = []
+        for index in range(n_replicates):
+            clock_rng = streams[2 * index]
+            workload_rng = streams[2 * index + 1]
+            if callable(self.initial_values):
+                values = self.initial_values(workload_rng)
+            else:
+                values = self.initial_values
+            clock = (
+                self.clock_factory(clock_rng)
+                if self.clock_factory is not None
+                else None
+            )
+            simulator = Simulator(
+                self.graph,
+                self.algorithm_factory(),
+                values,
+                clock=clock,
+                seed=clock_rng,
+            )
+            results.append(simulator.run(**run_kwargs))  # type: ignore[arg-type]
+        return results
+
+    def summary(self, n_replicates: int, **run_kwargs: object) -> ReplicateSummary:
+        """Run and aggregate in one call."""
+        return ReplicateSummary.from_results(self.run(n_replicates, **run_kwargs))

@@ -1,0 +1,331 @@
+"""The event-driven simulator.
+
+Executes one algorithm on one graph under one clock process, maintaining
+exact incremental statistics:
+
+* the value vector ``x`` (kept as a plain Python list in the hot loop —
+  scalar indexing of lists is several times faster than numpy scalars,
+  and the loop runs millions of iterations);
+* the running sum ``T = sum(x)`` and square-sum ``S = sum(x^2)``, updated
+  in O(1) per event and refreshed from scratch periodically to cancel
+  floating-point drift, giving the population variance
+  ``var = S/n - (T/n)^2`` after every single event;
+* per-edge tick counts (Algorithm A's schedule lives on them);
+* threshold-crossing records for the variance ratio (both the first time
+  the ratio falls below each threshold and the last time it was above —
+  the paper's ``T_av`` needs the *last*, because non-convex updates make
+  excursions).
+
+The model is the paper's: i.i.d. rate-1 Poisson clocks per edge by
+default; deterministic schedules can be injected for tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.clocks.poisson import PoissonEdgeClocks
+from repro.engine.recorder import TraceRecorder
+from repro.engine.results import Crossing, RunResult
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+from repro.util.rng import as_generator
+
+#: Hard cap on events when the caller provides no budget at all.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+#: Events generated per clock batch (amortizes numpy call overhead).
+DEFAULT_BATCH_SIZE = 8_192
+
+#: Incremental statistics are recomputed exactly this often (in updates).
+DEFAULT_RECOMPUTE_EVERY = 65_536
+
+
+class Simulator:
+    """Simulate one algorithm on one graph.
+
+    Parameters
+    ----------
+    graph:
+        The (connected) graph to run on.
+    algorithm:
+        Any :class:`~repro.algorithms.base.GossipAlgorithm`.
+    initial_values:
+        Length-``n`` initial value vector.
+    clock:
+        Optional clock process (anything implementing ``next_batch``);
+        defaults to rate-1 Poisson clocks per edge seeded from ``seed``.
+    seed:
+        Seed for the default clock and the algorithm's random stream.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm: GossipAlgorithm,
+        initial_values: "Sequence[float]",
+        *,
+        clock: "object | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        recompute_every: int = DEFAULT_RECOMPUTE_EVERY,
+    ) -> None:
+        values = np.asarray(initial_values, dtype=np.float64)
+        if values.shape != (graph.n_vertices,):
+            raise SimulationError(
+                f"initial_values must have shape ({graph.n_vertices},), "
+                f"got {values.shape}"
+            )
+        if graph.n_edges == 0:
+            raise SimulationError("cannot simulate on a graph with no edges")
+        if batch_size < 1:
+            raise SimulationError(f"batch_size must be positive, got {batch_size}")
+        if recompute_every < 1:
+            raise SimulationError(
+                f"recompute_every must be positive, got {recompute_every}"
+            )
+        rng = as_generator(seed)
+        self.graph = graph
+        self.algorithm = algorithm
+        self.initial_values = values.copy()
+        self.clock = clock if clock is not None else PoissonEdgeClocks(
+            graph.n_edges, seed=rng
+        )
+        if getattr(self.clock, "n_edges") != graph.n_edges:
+            raise SimulationError(
+                f"clock models {getattr(self.clock, 'n_edges')} edges but the "
+                f"graph has {graph.n_edges}"
+            )
+        self.batch_size = int(batch_size)
+        self.recompute_every = int(recompute_every)
+        self._algorithm_rng = rng
+
+    def run(
+        self,
+        *,
+        max_time: "float | None" = None,
+        max_events: "int | None" = None,
+        target_ratio: "float | None" = None,
+        thresholds: "Sequence[float]" = (math.e**-2,),
+        recorder: "TraceRecorder | None" = None,
+        divergence_ratio: "float | None" = 1e9,
+    ) -> RunResult:
+        """Run until a budget or the variance target is hit.
+
+        Parameters
+        ----------
+        max_time:
+            Stop after the first event at or beyond this absolute time.
+        max_events:
+            Stop after this many events (defaults to a hard safety cap
+            when neither other budget is given).
+        target_ratio:
+            Stop once ``var/var0 <= target_ratio``.  For non-monotone
+            algorithms pass a value well below the threshold of interest
+            so late excursions are observed before stopping.
+        thresholds:
+            Variance-ratio thresholds whose crossings to record.
+        recorder:
+            Optional :class:`TraceRecorder`; receives samples every
+            ``recorder.sample_every`` events plus the endpoints.
+        divergence_ratio:
+            Abort (``stopped_by = "diverged"``) once ``var/var0`` exceeds
+            this factor — a guard against unstable algorithms (e.g. the
+            async second-order adaptation at aggressive momentum) burning
+            the whole event budget.  ``None`` disables the guard.
+        """
+        if max_time is None and max_events is None and target_ratio is None:
+            raise SimulationError(
+                "provide at least one of max_time, max_events, target_ratio"
+            )
+        if max_time is not None and max_time <= 0:
+            raise SimulationError(f"max_time must be positive, got {max_time}")
+        if max_events is not None and max_events < 1:
+            raise SimulationError(f"max_events must be positive, got {max_events}")
+        if target_ratio is not None and target_ratio <= 0:
+            raise SimulationError(
+                f"target_ratio must be positive, got {target_ratio}"
+            )
+        for threshold in thresholds:
+            if threshold <= 0:
+                raise SimulationError(f"thresholds must be positive, got {threshold}")
+        event_cap = max_events if max_events is not None else DEFAULT_MAX_EVENTS
+
+        x_array = self.initial_values.copy()
+        n = len(x_array)
+        variance_0 = float(np.var(x_array))
+        sum_0 = float(x_array.sum())
+
+        self.algorithm.setup(self.graph, x_array, self._algorithm_rng)
+
+        crossings = {float(thr): Crossing(threshold=float(thr)) for thr in thresholds}
+        if variance_0 == 0.0:
+            # Already averaged; nothing to do.
+            return RunResult(
+                values=x_array,
+                duration=0.0,
+                n_events=0,
+                n_updates=0,
+                variance_initial=0.0,
+                variance_final=0.0,
+                sum_initial=sum_0,
+                sum_final=sum_0,
+                crossings=crossings,
+                stopped_by="target_ratio",
+            )
+
+        # --- hot-loop state (plain Python scalars and lists) ---
+        x = x_array.tolist()
+        edges_u = self.graph.edges[:, 0].tolist()
+        edges_v = self.graph.edges[:, 1].tolist()
+        tick_counts = [0] * self.graph.n_edges
+        total = sum_0
+        square_sum = float(x_array @ x_array)
+        inv_n = 1.0 / n
+
+        # Absolute-variance thresholds (avoid a division per event).
+        tracked = sorted(crossings.values(), key=lambda c: -c.threshold)
+        thr_abs = [c.threshold * variance_0 for c in tracked]
+        first_below: "list[float | None]" = [None] * len(tracked)
+        last_above = [0.0] * len(tracked)
+        target_abs = (
+            target_ratio * variance_0 if target_ratio is not None else None
+        )
+        divergence_abs = (
+            divergence_ratio * variance_0 if divergence_ratio is not None else None
+        )
+
+        on_tick = self.algorithm.on_tick
+        batch_size = self.batch_size
+        next_recompute = self.recompute_every
+        sample_every = recorder.sample_every if recorder is not None else 0
+        next_sample = sample_every if recorder is not None else -1
+
+        n_events = 0
+        n_updates = 0
+        now = 0.0
+        variance = variance_0
+        stopped_by = "max_events"
+        if recorder is not None:
+            recorder.record(0.0, variance_0, x)
+
+        running = True
+        while running:
+            remaining = event_cap - n_events
+            if remaining <= 0:
+                stopped_by = "max_events"
+                break
+            times, edge_ids = self.clock.next_batch(min(batch_size, remaining))
+            if len(times) == 0:
+                stopped_by = "clock_exhausted"
+                break
+            times_list = times.tolist()
+            edges_list = edge_ids.tolist()
+            for t, e in zip(times_list, edges_list):
+                n_events += 1
+                count = tick_counts[e] + 1
+                tick_counts[e] = count
+                u = edges_u[e]
+                v = edges_v[e]
+                result = on_tick(e, u, v, t, count, x)
+                if result is not None:
+                    if type(result) is tuple:
+                        new_u, new_v = result
+                        old_u = x[u]
+                        old_v = x[v]
+                        square_sum += (
+                            new_u * new_u
+                            + new_v * new_v
+                            - old_u * old_u
+                            - old_v * old_v
+                        )
+                        total += new_u + new_v - old_u - old_v
+                        x[u] = new_u
+                        x[v] = new_v
+                    else:
+                        # General update: iterable of (vertex, value)
+                        # pairs — used by multi-hop algorithms (e.g.
+                        # geographic gossip) that rewrite non-adjacent
+                        # nodes on one tick.
+                        for vertex, new_value in result:
+                            old_value = x[vertex]
+                            square_sum += (
+                                new_value * new_value - old_value * old_value
+                            )
+                            total += new_value - old_value
+                            x[vertex] = new_value
+                    n_updates += 1
+                    if n_updates >= next_recompute:
+                        refreshed = np.asarray(x, dtype=np.float64)
+                        total = float(refreshed.sum())
+                        square_sum = float(refreshed @ refreshed)
+                        next_recompute = n_updates + self.recompute_every
+                    mean = total * inv_n
+                    variance = square_sum * inv_n - mean * mean
+                    if variance < 0.0:  # floating-point undershoot near 0
+                        variance = 0.0
+                now = t
+                for i in range(len(tracked)):
+                    if variance > thr_abs[i]:
+                        last_above[i] = t
+                    elif first_below[i] is None:
+                        first_below[i] = t
+                if n_events == next_sample:
+                    recorder.record(t, variance, x)
+                    next_sample += sample_every
+                if target_abs is not None and variance <= target_abs:
+                    stopped_by = "target_ratio"
+                    running = False
+                    break
+                if divergence_abs is not None and (
+                    variance > divergence_abs or variance != variance
+                ):
+                    stopped_by = "diverged"
+                    running = False
+                    break
+                if max_time is not None and t >= max_time:
+                    stopped_by = "max_time"
+                    running = False
+                    break
+
+        final = np.asarray(x, dtype=np.float64)
+        variance_final = float(np.var(final))
+        if recorder is not None:
+            recorder.record(now, variance_final, x)
+        for record, below, above in zip(tracked, first_below, last_above):
+            record.first_below = below
+            record.last_above = above
+        return RunResult(
+            values=final,
+            duration=now,
+            n_events=n_events,
+            n_updates=n_updates,
+            variance_initial=variance_0,
+            variance_final=variance_final,
+            sum_initial=sum_0,
+            sum_final=float(final.sum()),
+            crossings=crossings,
+            stopped_by=stopped_by,
+            trace_times=recorder.times if recorder is not None else None,
+            trace_variances=recorder.variances if recorder is not None else None,
+        )
+
+
+def simulate(
+    graph: Graph,
+    algorithm: GossipAlgorithm,
+    initial_values: "Sequence[float]",
+    *,
+    seed: "int | np.random.Generator | None" = None,
+    clock: "object | None" = None,
+    **run_kwargs: object,
+) -> RunResult:
+    """One-call convenience: build a :class:`Simulator` and run it."""
+    simulator = Simulator(
+        graph, algorithm, initial_values, clock=clock, seed=seed
+    )
+    return simulator.run(**run_kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,27 @@
+"""Experiment harness: workloads, specs E1-E10, reporting, CLI."""
+
+from repro.experiments.workloads import (
+    bimodal_noise,
+    cut_aligned,
+    gaussian,
+    linear_gradient,
+    make_workload,
+    spike,
+)
+from repro.experiments.harness import ExperimentReport, ShapeCheck, measure_averaging_time
+from repro.experiments.specs import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "bimodal_noise",
+    "cut_aligned",
+    "gaussian",
+    "linear_gradient",
+    "make_workload",
+    "spike",
+    "ExperimentReport",
+    "ShapeCheck",
+    "measure_averaging_time",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

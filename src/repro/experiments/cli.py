@@ -1,0 +1,73 @@
+"""Command-line entry point: ``python -m repro.experiments.cli``.
+
+Examples
+--------
+Run one experiment at the default scale and print its report::
+
+    python -m repro.experiments.cli run E3
+
+Run everything at smoke scale, saving artifacts::
+
+    python -m repro.experiments.cli run all --scale smoke --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.harness import SCALES
+from repro.experiments.reporting import render_summary, save_report
+from repro.experiments.specs import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    run.add_argument("--scale", choices=SCALES, default=None)
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--out", default=None, help="directory for artifacts")
+
+    subparsers.add_parser("list", help="list available experiments")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, function in EXPERIMENTS.items():
+            doc = (function.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{experiment_id}: {summary}")
+        return 0
+
+    if args.experiment.lower() == "all":
+        ids = list(EXPERIMENTS)
+    else:
+        ids = [args.experiment]
+    reports = []
+    for experiment_id in ids:
+        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        reports.append(report)
+        print(report.render())
+        print()
+        if args.out:
+            text_path, json_path = save_report(report, args.out)
+            print(f"saved {text_path} and {json_path}")
+    print(render_summary(reports))
+    return 0 if all(r.all_checks_passed for r in reports) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Report rendering and artifact persistence for experiment runs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentReport
+from repro.util.serialization import to_json_file
+
+
+def save_report(report: ExperimentReport, directory: "str | Path") -> "tuple[Path, Path]":
+    """Write ``<id>.txt`` (rendered) and ``<id>.json`` (structured).
+
+    Returns the two paths.  The JSON artifact is what EXPERIMENTS.md's
+    paper-vs-measured entries are compiled from.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    text_path = base / f"{report.experiment_id.lower()}.txt"
+    json_path = base / f"{report.experiment_id.lower()}.json"
+    text_path.write_text(report.render() + "\n", encoding="utf-8")
+    to_json_file(report.to_dict(), json_path)
+    return text_path, json_path
+
+
+def render_summary(reports: "list[ExperimentReport]") -> str:
+    """One-line-per-experiment pass/fail overview."""
+    lines = ["experiment summary:"]
+    for report in reports:
+        status = "PASS" if report.all_checks_passed else "FAIL"
+        n_pass = sum(1 for c in report.checks if c.passed)
+        lines.append(
+            f"  [{status}] {report.experiment_id}: {report.title} "
+            f"({n_pass}/{len(report.checks)} checks)"
+        )
+    return "\n".join(lines)

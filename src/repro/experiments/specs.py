@@ -1,0 +1,77 @@
+"""Experiment registry: E1-E10 by id.
+
+Each entry maps to a function ``(scale, seed) -> ExperimentReport``.
+``run_experiment`` is the single entry point used by the CLI, the
+integration tests (scale="smoke") and the benchmark suite
+(scale="default").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import ExperimentReport
+from repro.experiments.specs_analysis import (
+    e6_stochastic_dominance,
+    e7_epoch_contraction,
+)
+from repro.experiments.specs_baselines import (
+    e10_epoch_constant,
+    e8_baselines,
+    e9_topologies,
+)
+from repro.experiments.specs_extensions import (
+    e11_geographic_gossip,
+    e12_multi_cut,
+    e13_failure_injection,
+    e14_rate_boost,
+)
+from repro.experiments.specs_scaling import (
+    e1_convex_lower_bound,
+    e2_nonconvex_upper_bound,
+    e3_dumbbell_headline,
+    e4_cut_width,
+    e5_balance_gain_ablation,
+)
+
+#: All registered experiments, in paper-claim order (E1-E10 reproduce the
+#: paper's claims; E11-E14 are the documented extensions).
+EXPERIMENTS: "dict[str, Callable[..., ExperimentReport]]" = {
+    "E1": e1_convex_lower_bound,
+    "E2": e2_nonconvex_upper_bound,
+    "E3": e3_dumbbell_headline,
+    "E4": e4_cut_width,
+    "E5": e5_balance_gain_ablation,
+    "E6": e6_stochastic_dominance,
+    "E7": e7_epoch_contraction,
+    "E8": e8_baselines,
+    "E9": e9_topologies,
+    "E10": e10_epoch_constant,
+    "E11": e11_geographic_gossip,
+    "E12": e12_multi_cut,
+    "E13": e13_failure_injection,
+    "E14": e14_rate_boost,
+}
+
+
+def get_experiment(experiment_id: str) -> "Callable[..., ExperimentReport]":
+    """Look up an experiment function by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(
+    experiment_id: str, *, scale: "str | None" = None, seed: "int | None" = None
+) -> ExperimentReport:
+    """Run one experiment and return its report."""
+    function = get_experiment(experiment_id)
+    kwargs: dict = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return function(**kwargs)

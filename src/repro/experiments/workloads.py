@@ -1,0 +1,130 @@
+"""Initial-value workloads for averaging experiments.
+
+All workloads are zero-mean by default so the target consensus value is 0
+and variance ratios are directly comparable across instances.  The
+central one is :func:`cut_aligned` — the adversarial vector from the
+paper's own Theorem-1 proof (+1 on ``V1``, ``-n1/n2`` on ``V2``), which
+maximally loads the cut and stands in for the definition's ``sup_x``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.util.rng import as_generator
+
+
+def cut_aligned(partition: Partition) -> np.ndarray:
+    """The paper's worst case: ``+1`` on ``V1``, ``-n1/n2`` on ``V2``.
+
+    Zero-mean by construction; all initial variance sits across the cut.
+    """
+    values = np.empty(partition.graph.n_vertices, dtype=np.float64)
+    values[partition.vertices_1] = 1.0
+    values[partition.vertices_2] = -partition.n1 / partition.n2
+    return values
+
+
+def gaussian(
+    n: int,
+    *,
+    rng: "np.random.Generator | int | None" = None,
+    scale: float = 1.0,
+    zero_mean: bool = True,
+) -> np.ndarray:
+    """I.i.d. normal values (a benign, cut-agnostic workload)."""
+    if n < 1:
+        raise ExperimentError(f"n must be positive, got {n}")
+    if scale <= 0:
+        raise ExperimentError(f"scale must be positive, got {scale}")
+    generator = as_generator(rng)
+    values = generator.normal(0.0, scale, size=n)
+    if zero_mean:
+        values = values - values.mean()
+    return values
+
+
+def spike(n: int, *, vertex: int = 0, zero_mean: bool = True) -> np.ndarray:
+    """A single loaded node (the load-balancing "hot spot" scenario)."""
+    if n < 1:
+        raise ExperimentError(f"n must be positive, got {n}")
+    if not 0 <= vertex < n:
+        raise ExperimentError(f"vertex {vertex} out of range for n={n}")
+    values = np.zeros(n, dtype=np.float64)
+    values[vertex] = float(n)
+    if zero_mean:
+        values = values - values.mean()
+    return values
+
+
+def linear_gradient(n: int, *, zero_mean: bool = True) -> np.ndarray:
+    """Values proportional to the vertex index (a smooth field)."""
+    if n < 1:
+        raise ExperimentError(f"n must be positive, got {n}")
+    values = np.arange(n, dtype=np.float64)
+    if zero_mean:
+        values = values - values.mean()
+    return values
+
+
+def bimodal_noise(
+    partition: Partition,
+    *,
+    rng: "np.random.Generator | int | None" = None,
+    noise: float = 0.1,
+) -> np.ndarray:
+    """Cut-aligned signal plus i.i.d. Gaussian noise (realistic sensors).
+
+    Models two instrument clusters whose readings differ systematically
+    across the cut and fluctuate within each side.
+    """
+    if noise < 0:
+        raise ExperimentError(f"noise must be non-negative, got {noise}")
+    generator = as_generator(rng)
+    values = cut_aligned(partition)
+    values = values + generator.normal(0.0, noise, size=values.shape)
+    return values - values.mean()
+
+
+def make_workload(
+    name: str,
+    *,
+    graph: Graph,
+    partition: "Partition | None" = None,
+) -> "Callable[[np.random.Generator], np.ndarray]":
+    """Factory: workload name -> per-replicate sampler ``rng -> values``.
+
+    Deterministic workloads ignore the rng; partition-dependent ones
+    require ``partition``.  Names: ``cut_aligned``, ``gaussian``,
+    ``spike``, ``linear_gradient``, ``bimodal_noise``.
+    """
+    n = graph.n_vertices
+
+    def need_partition() -> Partition:
+        if partition is None:
+            raise ExperimentError(f"workload {name!r} requires a partition")
+        return partition
+
+    if name == "cut_aligned":
+        fixed = cut_aligned(need_partition())
+        return lambda rng: fixed
+    if name == "gaussian":
+        return lambda rng: gaussian(n, rng=rng)
+    if name == "spike":
+        fixed_spike = spike(n)
+        return lambda rng: fixed_spike
+    if name == "linear_gradient":
+        fixed_gradient = linear_gradient(n)
+        return lambda rng: fixed_gradient
+    if name == "bimodal_noise":
+        part = need_partition()
+        return lambda rng: bimodal_noise(part, rng=rng)
+    raise ExperimentError(
+        f"unknown workload {name!r}; expected cut_aligned/gaussian/spike/"
+        f"linear_gradient/bimodal_noise"
+    )

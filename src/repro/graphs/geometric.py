@@ -1,0 +1,164 @@
+"""Geometric networks: positioned graphs and greedy geographic routing.
+
+Substrate for the geographic-gossip comparison (the paper's reference [6],
+Narayanan PODC 2007, builds on geographic gossip over random geometric
+graphs).  A :class:`GeometricNetwork` couples a unit-square point set with
+its radius graph and provides the greedy forwarding primitive those
+protocols assume: hop to the neighbor closest to the target, stop when no
+neighbor improves (a void) or the target is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.util.rng import as_generator
+
+
+@dataclass(frozen=True)
+class GeometricNetwork:
+    """A graph whose vertices carry unit-square positions."""
+
+    graph: Graph
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.positions, dtype=np.float64)
+        if array.shape != (self.graph.n_vertices, 2):
+            raise GraphError(
+                f"positions must have shape ({self.graph.n_vertices}, 2), "
+                f"got {array.shape}"
+            )
+        object.__setattr__(self, "positions", array)
+
+    def distance(self, u: int, v: int) -> float:
+        """Euclidean distance between two vertices."""
+        return float(np.linalg.norm(self.positions[u] - self.positions[v]))
+
+    def greedy_route(self, source: int, target: int) -> "list[int] | None":
+        """Greedy geographic route ``source -> target``.
+
+        Each hop moves to the neighbor strictly closest to the target's
+        position.  Returns the vertex path including both endpoints, or
+        ``None`` when greedy forwarding hits a void (no neighbor improves).
+        On a connected random geometric graph above the connectivity
+        threshold, voids are rare — the standard geographic-gossip
+        assumption.
+        """
+        for vertex in (source, target):
+            if not 0 <= vertex < self.graph.n_vertices:
+                raise GraphError(
+                    f"vertex {vertex} out of range for "
+                    f"{self.graph.n_vertices} vertices"
+                )
+        path = [source]
+        current = source
+        goal = self.positions[target]
+        current_distance = float(np.linalg.norm(self.positions[current] - goal))
+        while current != target:
+            neighbors = self.graph.neighbors(current)
+            if len(neighbors) == 0:
+                return None
+            offsets = self.positions[neighbors] - goal
+            distances = np.sqrt(np.sum(offsets * offsets, axis=1))
+            best = int(np.argmin(distances))
+            if distances[best] >= current_distance:
+                return None  # greedy void
+            current = int(neighbors[best])
+            current_distance = float(distances[best])
+            path.append(current)
+        return path
+
+
+def random_geometric_network(
+    n: int,
+    radius: "float | None" = None,
+    *,
+    seed: "int | np.random.Generator | None" = None,
+    max_attempts: int = 200,
+) -> GeometricNetwork:
+    """A connected random geometric network on the unit square.
+
+    ``radius`` defaults to twice the connectivity threshold
+    ``sqrt(log n / n)`` — dense enough that greedy routing almost never
+    voids, matching the geographic-gossip setting.
+    """
+    if n < 2:
+        raise GraphError(f"need at least two vertices, got {n}")
+    if radius is None:
+        radius = 2.0 * float(np.sqrt(np.log(n) / n))
+    if radius <= 0:
+        raise GraphError(f"radius must be positive, got {radius}")
+    rng = as_generator(seed)
+    for _ in range(max_attempts):
+        points = rng.random((n, 2))
+        deltas = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt(np.sum(deltas**2, axis=-1))
+        us, vs = np.nonzero(np.triu(distances < radius, k=1))
+        graph = Graph(n, np.stack([us, vs], axis=1))
+        if graph.is_connected():
+            return GeometricNetwork(graph=graph, positions=points)
+    raise GraphError(
+        f"could not sample a connected geometric network "
+        f"(n={n}, radius={radius:.3f}) in {max_attempts} attempts"
+    )
+
+
+def bridged_geometric_pair(
+    n_per_side: int,
+    *,
+    seed: "int | np.random.Generator | None" = None,
+    gap: float = 0.3,
+) -> "tuple[GeometricNetwork, np.ndarray]":
+    """Two geometric clusters in separated strips, bridged where closest.
+
+    Places one cluster in ``x in [0, (1-gap)/2]`` and the other in
+    ``x in [(1+gap)/2, 1]``, connects points within each cluster by the
+    usual radius rule, and adds the single closest cross-strip pair as the
+    bridge.  Returns the network and the side-label array (a geometric
+    realization of the paper's sparse-cut regime).
+    """
+    if n_per_side < 4:
+        raise GraphError(f"need at least 4 vertices per side, got {n_per_side}")
+    if not 0.0 < gap < 0.9:
+        raise GraphError(f"gap must be in (0, 0.9), got {gap}")
+    rng = as_generator(seed)
+    strip_width = (1.0 - gap) / 2.0
+    radius = 2.5 * float(np.sqrt(np.log(n_per_side) / n_per_side)) * strip_width
+
+    for _ in range(200):
+        left = rng.random((n_per_side, 2)) * [strip_width, 1.0]
+        right = rng.random((n_per_side, 2)) * [strip_width, 1.0] + [
+            strip_width + gap,
+            0.0,
+        ]
+        points = np.vstack([left, right])
+        n = 2 * n_per_side
+        deltas = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt(np.sum(deltas**2, axis=-1))
+        close = np.triu(distances < radius, k=1)
+        # Keep only intra-strip edges, then add the closest cross pair.
+        side = np.concatenate(
+            [np.zeros(n_per_side, dtype=np.int64), np.ones(n_per_side, dtype=np.int64)]
+        )
+        same_side = side[:, None] == side[None, :]
+        us, vs = np.nonzero(close & same_side)
+        cross = distances[:n_per_side, n_per_side:]
+        bridge_left, bridge_right = np.unravel_index(
+            int(np.argmin(cross)), cross.shape
+        )
+        edges = list(zip(us.tolist(), vs.tolist()))
+        edges.append((int(bridge_left), int(bridge_right) + n_per_side))
+        graph = Graph(n, edges)
+        left_ok = graph.subgraph(range(n_per_side))[0].is_connected()
+        right_ok = graph.subgraph(range(n_per_side, n))[0].is_connected()
+        if left_ok and right_ok:
+            return GeometricNetwork(graph=graph, positions=points), side
+    raise GraphError(
+        "could not sample internally connected geometric clusters; "
+        "increase n_per_side"
+    )

@@ -1,0 +1,254 @@
+"""Standard graph families used as building blocks for sparse-cut instances.
+
+Deterministic families (complete, path, cycle, star, grid, torus, hypercube,
+binary tree, lollipop) take only size parameters.  Random families
+(Erdős–Rényi, random-regular, random-geometric) take a seed or generator and
+retry until the sample is connected (bounded number of attempts), because
+every experiment in the paper assumes connected subgraphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.util.rng import as_generator
+
+#: Attempts before a random family gives up producing a connected sample.
+_MAX_CONNECTIVITY_ATTEMPTS = 200
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n`` (the paper's `G'_1`, `G'_2` halves)."""
+    _check_size(n, minimum=1)
+    return Graph(n, itertools.combinations(range(n), 2))
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` — the poorest-connected graph, a stress baseline."""
+    _check_size(n, minimum=1)
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` (n >= 3)."""
+    _check_size(n, minimum=3)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges.append((n - 1, 0))
+    return Graph(n, edges)
+
+
+def star_graph(n: int) -> Graph:
+    """The star ``S_n``: hub 0 joined to ``n - 1`` leaves (n >= 2)."""
+    _check_size(n, minimum=2)
+    return Graph(n, ((0, i) for i in range(1, n)))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` 2-D lattice; vertex ``(r, c)`` is ``r * cols + c``."""
+    _check_size(rows, minimum=1, name="rows")
+    _check_size(cols, minimum=1, name="cols")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            vertex = r * cols + c
+            if c + 1 < cols:
+                edges.append((vertex, vertex + 1))
+            if r + 1 < rows:
+                edges.append((vertex, vertex + cols))
+    return Graph(rows * cols, edges)
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The 2-D torus (grid with wraparound); needs rows, cols >= 3."""
+    _check_size(rows, minimum=3, name="rows")
+    _check_size(cols, minimum=3, name="cols")
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            vertex = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            edges.add(_norm(vertex, right))
+            edges.add(_norm(vertex, down))
+    return Graph(rows * cols, sorted(edges))
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional Boolean hypercube ``Q_d``."""
+    _check_size(dimension, minimum=1, name="dimension")
+    n = 1 << dimension
+    edges = []
+    for vertex in range(n):
+        for bit in range(dimension):
+            neighbor = vertex ^ (1 << bit)
+            if vertex < neighbor:
+                edges.append((vertex, neighbor))
+    return Graph(n, edges)
+
+
+def binary_tree(depth: int) -> Graph:
+    """Complete binary tree of the given depth (depth 0 = single vertex)."""
+    if depth < 0:
+        raise GraphError(f"depth must be non-negative, got {depth}")
+    n = (1 << (depth + 1)) - 1
+    edges = []
+    for child in range(1, n):
+        edges.append(((child - 1) // 2, child))
+    return Graph(n, edges)
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """``K_m`` with a pendant path of ``path_length`` extra vertices.
+
+    A classical bad case for diffusion: the clique mixes instantly but the
+    tail drains slowly.  Useful as a contrast to the dumbbell.
+    """
+    _check_size(clique_size, minimum=1, name="clique_size")
+    if path_length < 0:
+        raise GraphError(f"path_length must be non-negative, got {path_length}")
+    edges = list(itertools.combinations(range(clique_size), 2))
+    previous = clique_size - 1
+    for i in range(path_length):
+        vertex = clique_size + i
+        edges.append((previous, vertex))
+        previous = vertex
+    return Graph(clique_size + path_length, edges)
+
+
+def erdos_renyi_graph(
+    n: int,
+    p: float,
+    *,
+    seed: "int | np.random.Generator | None" = None,
+    require_connected: bool = True,
+) -> Graph:
+    """``G(n, p)`` random graph, resampled until connected by default."""
+    _check_size(n, minimum=1)
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    rng = as_generator(seed)
+    for _ in range(_MAX_CONNECTIVITY_ATTEMPTS):
+        mask = rng.random(n * (n - 1) // 2) < p
+        pairs = np.array(list(itertools.combinations(range(n), 2)), dtype=np.int64)
+        graph = Graph(n, pairs[mask])
+        if not require_connected or graph.is_connected():
+            return graph
+    raise GraphError(
+        f"could not sample a connected G({n}, {p}) in "
+        f"{_MAX_CONNECTIVITY_ATTEMPTS} attempts; increase p"
+    )
+
+
+def random_regular_graph(
+    n: int,
+    degree: int,
+    *,
+    seed: "int | np.random.Generator | None" = None,
+    require_connected: bool = True,
+) -> Graph:
+    """A uniform-ish random ``degree``-regular graph (Steger-Wormald style).
+
+    Stubs are matched one pair at a time, each time choosing uniformly
+    among the *suitable* pairs (distinct vertices, edge not already
+    present); if the process paints itself into a corner it restarts.
+    Unlike naive pairing-model rejection — whose acceptance probability is
+    ``~exp(-(d^2-1)/4)``, hopeless already at ``d = 8`` — this succeeds in
+    a handful of restarts for every ``d << n``.  Random regular graphs are
+    expanders with high probability, which is exactly the "internally well
+    connected" hypothesis of the paper's Theorem 2.
+    """
+    _check_size(n, minimum=2)
+    if degree < 1 or degree >= n:
+        raise GraphError(f"degree must be in [1, n-1], got {degree} for n={n}")
+    if (n * degree) % 2 != 0:
+        raise GraphError(f"n * degree must be even, got n={n}, degree={degree}")
+    rng = as_generator(seed)
+    for _ in range(_MAX_CONNECTIVITY_ATTEMPTS):
+        edges = _steger_wormald_attempt(n, degree, rng)
+        if edges is None:
+            continue
+        graph = Graph(n, edges)
+        if not require_connected or graph.is_connected():
+            return graph
+    raise GraphError(
+        f"could not sample a simple connected {degree}-regular graph on {n} "
+        f"vertices in {_MAX_CONNECTIVITY_ATTEMPTS} attempts"
+    )
+
+
+def _steger_wormald_attempt(
+    n: int, degree: int, rng: np.random.Generator
+) -> "list[tuple[int, int]] | None":
+    """One attempt at a simple regular pairing; None if it gets stuck."""
+    remaining = np.full(n, degree, dtype=np.int64)
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    edges: list[tuple[int, int]] = []
+    target = n * degree // 2
+    while len(edges) < target:
+        candidates = np.flatnonzero(remaining > 0)
+        # Draw stub-weighted endpoint pairs; retry locally a few times
+        # before declaring the attempt stuck.
+        placed = False
+        for _ in range(200):
+            weights = remaining[candidates].astype(np.float64)
+            probabilities = weights / weights.sum()
+            u, v = rng.choice(candidates, size=2, p=probabilities)
+            u, v = int(u), int(v)
+            if u == v or v in adjacency[u]:
+                continue
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            remaining[u] -= 1
+            remaining[v] -= 1
+            edges.append((u, v) if u < v else (v, u))
+            placed = True
+            break
+        if not placed:
+            return None
+    return edges
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    *,
+    seed: "int | np.random.Generator | None" = None,
+    require_connected: bool = True,
+) -> Graph:
+    """Random geometric graph on the unit square (connects points < radius).
+
+    The topology of the author's earlier paper [Narayanan, PODC 2007];
+    included so the geographic-gossip comparison scenario can run.
+    """
+    _check_size(n, minimum=1)
+    if radius <= 0:
+        raise GraphError(f"radius must be positive, got {radius}")
+    rng = as_generator(seed)
+    for _ in range(_MAX_CONNECTIVITY_ATTEMPTS):
+        points = rng.random((n, 2))
+        deltas = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt(np.sum(deltas**2, axis=-1))
+        us, vs = np.nonzero(np.triu(distances < radius, k=1))
+        graph = Graph(n, np.stack([us, vs], axis=1))
+        if not require_connected or graph.is_connected():
+            return graph
+    raise GraphError(
+        f"could not sample a connected RGG(n={n}, r={radius}) in "
+        f"{_MAX_CONNECTIVITY_ATTEMPTS} attempts; increase radius "
+        f"(connectivity threshold is ~sqrt(log n / n) = "
+        f"{math.sqrt(math.log(max(n, 2)) / n):.3f})"
+    )
+
+
+def _norm(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def _check_size(n: int, *, minimum: int, name: str = "n") -> None:
+    if n < minimum:
+        raise GraphError(f"{name} must be at least {minimum}, got {n}")

@@ -1,0 +1,91 @@
+"""ASCII table rendering for experiment reports.
+
+The benchmark harness prints every reproduced "table" of the paper through
+:class:`Table`, so all output shares one format and can be diffed between
+runs.  No third-party table library is used (offline constraint).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+class Table:
+    """A simple column-aligned ASCII table.
+
+    >>> t = Table(["n", "T_av"], title="demo")
+    >>> t.add_row([16, 3.25])
+    >>> t.add_row([32, 7.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    n  | T_av
+    ---+-----
+    16 | 3.25
+    32 | 7.5
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        *,
+        title: "str | None" = None,
+        float_format: str = "{:.4g}",
+    ) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.float_format = float_format
+        self._rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append one row; must have exactly one value per column."""
+        row = [self._format(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values but table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    def add_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(row)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows currently in the table."""
+        return len(self._rows)
+
+    def _format(self, value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return self.float_format.format(value)
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)).rstrip()
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(header)
+        lines.append(rule)
+        for row in self._rows:
+            lines.append(
+                " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def to_rows(self) -> list[list[str]]:
+        """Return the formatted rows (useful for assertions in tests)."""
+        return [list(row) for row in self._rows]
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,38 @@
+"""Wall-clock timing context manager for harness progress reports."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Measure elapsed wall-clock time.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: "float | None" = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed (live while running, frozen after exit)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Timer(elapsed={self.elapsed:.6f}s)"

@@ -1,0 +1,89 @@
+"""Integration: every algorithm converges end-to-end on small instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.convex import ConvexGossip, RandomConvexGossip
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.push_sum import PushSumGossip
+from repro.algorithms.two_timescale import TwoTimescaleGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.engine.simulator import simulate
+from repro.experiments.workloads import cut_aligned
+from repro.graphs.composites import dumbbell_graph, two_erdos_renyi, two_grids
+
+
+@pytest.fixture(scope="module")
+def instance():
+    pair = dumbbell_graph(16)
+    return pair, cut_aligned(pair.partition)
+
+
+def algorithm_cases(pair):
+    return [
+        VanillaGossip(),
+        ConvexGossip(0.7),
+        RandomConvexGossip(0.2, 0.8),
+        TwoTimescaleGossip(pair.partition, slow_step=0.25),
+        PushSumGossip(),
+        NonConvexSparseCutGossip(pair.partition, epoch_length=3),
+        NonConvexSparseCutGossip(
+            pair.partition, epoch_length=3, oracle_means=True
+        ),
+    ]
+
+
+class TestEverythingConverges:
+    def test_all_algorithms_reach_consensus(self, instance):
+        pair, x0 = instance
+        for algorithm in algorithm_cases(pair):
+            result = simulate(
+                pair.graph, algorithm, x0, seed=11,
+                target_ratio=1e-8, max_time=5_000.0,
+            )
+            assert result.stopped_by == "target_ratio", algorithm.name
+            assert np.allclose(
+                result.values, x0.mean(), atol=1e-3
+            ), algorithm.name
+
+    def test_sum_conserving_algorithms_hold_the_mean(self, instance):
+        pair, x0 = instance
+        for algorithm in algorithm_cases(pair):
+            if not algorithm.conserves_sum:
+                continue
+            result = simulate(
+                pair.graph, algorithm, x0, seed=13,
+                target_ratio=1e-8, max_time=5_000.0,
+            )
+            assert result.sum_drift < 1e-6, algorithm.name
+
+    def test_convergence_on_er_pair(self):
+        pair = two_erdos_renyi(12, 14, n_bridges=2, seed=3)
+        x0 = cut_aligned(pair.partition)
+        algo = NonConvexSparseCutGossip(pair.partition, epoch_length=2)
+        result = simulate(pair.graph, algo, x0, seed=1, target_ratio=1e-8,
+                          max_time=10_000.0)
+        assert result.stopped_by == "target_ratio"
+
+    def test_convergence_on_grid_pair(self):
+        pair = two_grids(3, 4, n_bridges=1)
+        x0 = cut_aligned(pair.partition)
+        from repro.core.epochs import epoch_length_ticks
+
+        epoch = epoch_length_ticks(pair.partition, constant=3.0)
+        algo = NonConvexSparseCutGossip(pair.partition, epoch_length=epoch)
+        result = simulate(pair.graph, algo, x0, seed=2, target_ratio=1e-6,
+                          max_time=50_000.0)
+        assert result.stopped_by == "target_ratio"
+
+    def test_nonuniform_initial_values_converge_to_true_mean(self, instance):
+        pair, _ = instance
+        rng = np.random.default_rng(5)
+        x0 = rng.exponential(3.0, size=16)  # non-zero-mean, skewed
+        algo = NonConvexSparseCutGossip(pair.partition, epoch_length=3)
+        result = simulate(pair.graph, algo, x0, seed=3, target_ratio=1e-10,
+                          max_time=5_000.0)
+        assert result.values.mean() == pytest.approx(x0.mean(), rel=1e-9)
+        assert np.allclose(result.values, x0.mean(), atol=1e-4)

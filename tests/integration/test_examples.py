@@ -1,0 +1,57 @@
+"""Integration: the example scripts run end to end and say what they should."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+def test_quickstart_small():
+    out = run_example("quickstart.py", "32")
+    assert "vanilla gossip" in out
+    assert "algorithm A" in out
+    assert "speedup" in out
+    assert "converged to 15.5000" in out
+
+
+def test_sensor_fusion():
+    out = run_example("sensor_fusion.py")
+    assert "detected cut" in out
+    assert "consensus 19.4" in out
+    assert "faster across the backbone bottleneck" in out
+
+
+def test_load_balancing():
+    out = run_example("load_balancing.py")
+    assert "drain time comparison" in out
+    assert "algorithm A (non-convex uplink swap)" in out
+    assert "within" in out
+
+
+def test_custom_algorithm():
+    out = run_example("custom_algorithm.py")
+    assert "registered custom algorithm: greedy-cut-pump" in out
+    assert "Theorem 1 in action" in out
+
+
+def test_federation():
+    out = run_example("federation.py")
+    assert "detected centers: 4 clusters" in out
+    assert "multi-cut consensus: 19.5" in out
+    assert "speedup" in out

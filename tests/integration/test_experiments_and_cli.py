@@ -1,0 +1,45 @@
+"""Integration: every experiment runs at smoke scale with all checks green."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.specs import EXPERIMENTS, run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_smoke_passes(experiment_id):
+    report = run_experiment(experiment_id, scale="smoke")
+    failed = [c for c in report.checks if not c.passed]
+    assert not failed, (
+        f"{experiment_id} failed checks: "
+        + "; ".join(f"{c.name} ({c.detail})" for c in failed)
+    )
+    assert report.tables, "every experiment must regenerate a table"
+    rendered = report.render()
+    assert report.experiment_id in rendered
+
+
+def test_cli_runs_single_experiment(tmp_path, capsys):
+    exit_code = main(["run", "E6", "--scale", "smoke", "--out", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "E6" in captured.out
+    assert (tmp_path / "e6.txt").exists()
+    assert (tmp_path / "e6.json").exists()
+
+
+def test_cli_reports_failure_exit_code(monkeypatch, capsys):
+    """A failing check must surface as a non-zero exit code."""
+    from repro.experiments import specs
+    from repro.experiments.harness import ExperimentReport
+
+    def fake_experiment(scale=None, seed=0):
+        report = ExperimentReport("E1", "t", "c")
+        report.add_check("x", False, "boom")
+        return report
+
+    monkeypatch.setitem(specs.EXPERIMENTS, "E1", fake_experiment)
+    assert main(["run", "E1", "--scale", "smoke"]) == 1
+    capsys.readouterr()

@@ -1,0 +1,60 @@
+"""Integration: the paper's headline separation, asserted end-to-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.vanilla import VanillaGossip
+from repro.analysis.bounds import theorem1_lower_bound
+from repro.core.sparse_cut_averaging import SparseCutAveraging
+from repro.engine.averaging_time import estimate_averaging_time
+from repro.experiments.workloads import cut_aligned
+from repro.graphs.composites import dumbbell_graph
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        pair = dumbbell_graph(64)
+        x0 = cut_aligned(pair.partition)
+        vanilla = estimate_averaging_time(
+            pair.graph, VanillaGossip, x0, n_replicates=5, seed=1,
+            max_time=2_000.0,
+        )
+        sca = SparseCutAveraging(pair.graph, partition=pair.partition)
+        algorithm_a = sca.averaging_time(x0, n_replicates=5, seed=2)
+        return pair, vanilla, algorithm_a
+
+    def test_vanilla_respects_theorem1(self, measured):
+        pair, vanilla, _ = measured
+        assert vanilla.estimate >= theorem1_lower_bound(pair.partition)
+
+    def test_algorithm_a_beats_vanilla_by_a_wide_margin(self, measured):
+        _, vanilla, algorithm_a = measured
+        assert not algorithm_a.is_censored
+        assert vanilla.estimate / algorithm_a.estimate >= 5.0
+
+    def test_speedup_grows_with_n(self):
+        speedups = []
+        for n in (32, 96):
+            pair = dumbbell_graph(n)
+            x0 = cut_aligned(pair.partition)
+            vanilla = estimate_averaging_time(
+                pair.graph, VanillaGossip, x0, n_replicates=4, seed=3,
+                max_time=3_000.0,
+            )
+            sca = SparseCutAveraging(pair.graph, partition=pair.partition)
+            a_est = sca.averaging_time(x0, n_replicates=4, seed=4)
+            speedups.append(vanilla.estimate / a_est.estimate)
+        assert speedups[1] > speedups[0]
+
+    def test_auto_detection_equals_planted_performance(self):
+        """End-to-end with NO partition given: detect, configure, win."""
+        pair = dumbbell_graph(48)
+        x0 = cut_aligned(pair.partition)
+        sca = SparseCutAveraging(pair.graph)  # detection path
+        result = sca.run(x0, seed=5, target_ratio=1e-8)
+        assert result.stopped_by == "target_ratio"
+        assert np.allclose(result.values, 0.0, atol=1e-3)
+        assert sca.partition.cut_size == 1

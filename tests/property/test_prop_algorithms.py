@@ -1,0 +1,165 @@
+"""Property-based tests of algorithm invariants.
+
+The load-bearing ones for the paper:
+
+* every class-C update conserves the sum and never increases variance
+  (the premises of Theorem 1);
+* Algorithm A conserves the sum even though its updates are non-convex
+  (the premise of its correctness);
+* the exact-gain swap annihilates the cross-cut imbalance on
+  side-constant states, for *every* balance (the fix of fidelity note F1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.convex import ConvexGossip
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.graphs.composites import two_cliques
+from repro.graphs.topologies import complete_graph
+
+values_strategy = st.lists(
+    st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+    min_size=8,
+    max_size=8,
+)
+
+
+def drive(algorithm, graph, values, edge_sequence):
+    """Apply the algorithm along a scripted edge sequence, in place."""
+    counts = [0] * graph.n_edges
+    for i, edge_id in enumerate(edge_sequence):
+        counts[edge_id] += 1
+        u, v = graph.edge_endpoints(edge_id)
+        result = algorithm.on_tick(
+            edge_id, u, v, float(i + 1), counts[edge_id], values
+        )
+        if result is not None:
+            values[u], values[v] = result
+
+
+class TestClassCInvariants:
+    @given(
+        values_strategy,
+        st.floats(0.0, 1.0),
+        st.lists(st.integers(0, 27), min_size=1, max_size=60),
+    )
+    def test_convex_updates_conserve_sum_and_variance_monotone(
+        self, initial, alpha, edge_sequence
+    ):
+        graph = complete_graph(8)
+        algorithm = ConvexGossip(alpha)
+        algorithm.setup(graph, np.asarray(initial), np.random.default_rng(0))
+        values = list(initial)
+        previous_variance = float(np.var(values))
+        total = sum(values)
+        for edge_id in edge_sequence:
+            drive(algorithm, graph, values, [edge_id])
+            variance = float(np.var(values))
+            assert variance <= previous_variance + 1e-9 * max(
+                1.0, previous_variance
+            )
+            previous_variance = variance
+        assert abs(sum(values) - total) <= 1e-6 * max(1.0, abs(total))
+
+    @given(values_strategy, st.lists(st.integers(0, 27), min_size=1, max_size=60))
+    def test_vanilla_stays_in_convex_hull(self, initial, edge_sequence):
+        graph = complete_graph(8)
+        algorithm = VanillaGossip()
+        algorithm.setup(graph, np.asarray(initial), np.random.default_rng(0))
+        values = list(initial)
+        lo, hi = min(initial), max(initial)
+        drive(algorithm, graph, values, edge_sequence)
+        assert min(values) >= lo - 1e-9 * max(1.0, abs(lo))
+        assert max(values) <= hi + 1e-9 * max(1.0, abs(hi))
+
+
+@st.composite
+def clique_pairs(draw):
+    n1 = draw(st.integers(2, 8))
+    n2 = draw(st.integers(n1, 10))
+    return two_cliques(n1, n2, n_bridges=1)
+
+
+class TestAlgorithmAInvariants:
+    @given(
+        clique_pairs(),
+        st.data(),
+    )
+    @settings(max_examples=40)
+    def test_sum_conserved_under_any_tick_sequence(self, pair, data):
+        graph = pair.graph
+        n = graph.n_vertices
+        initial = data.draw(
+            st.lists(
+                st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        edge_sequence = data.draw(
+            st.lists(st.integers(0, graph.n_edges - 1), min_size=1, max_size=80)
+        )
+        epoch = data.draw(st.integers(1, 4))
+        algorithm = NonConvexSparseCutGossip(
+            pair.partition, epoch_length=epoch, gain="exact"
+        )
+        algorithm.setup(graph, np.asarray(initial), np.random.default_rng(0))
+        values = list(initial)
+        drive(algorithm, graph, values, edge_sequence)
+        assert abs(sum(values) - sum(initial)) <= 1e-6 * max(
+            1.0, abs(sum(initial))
+        )
+
+    @given(clique_pairs(), st.floats(-10.0, 10.0), st.floats(-10.0, 10.0))
+    @settings(max_examples=40)
+    def test_exact_swap_equalizes_side_means_on_mixed_states(
+        self, pair, mu1, mu2
+    ):
+        partition = pair.partition
+        graph = pair.graph
+        algorithm = NonConvexSparseCutGossip(
+            partition, epoch_length=1, gain="exact"
+        )
+        algorithm.setup(
+            graph, np.zeros(graph.n_vertices), np.random.default_rng(0)
+        )
+        values = np.where(partition.side == 0, mu1, mu2).astype(float).tolist()
+        edge = algorithm.designated_edge
+        u, v = graph.edge_endpoints(edge)
+        result = algorithm.on_tick(edge, u, v, 1.0, 1, values)
+        assert result is not None
+        values[u], values[v] = result
+        array = np.asarray(values)
+        new_mu1 = array[partition.vertices_1].mean()
+        new_mu2 = array[partition.vertices_2].mean()
+        assert abs(new_mu1 - new_mu2) <= 1e-9 * max(1.0, abs(mu1), abs(mu2))
+
+    @given(clique_pairs(), st.floats(0.5, 10.0))
+    @settings(max_examples=30)
+    def test_swap_is_genuinely_nonconvex(self, pair, delta):
+        """The designated endpoints leave the hull of their old values."""
+        partition = pair.partition
+        if partition.n1 < 3:
+            return  # gain n1*n2/n can be < 1 for tiny sides
+        graph = pair.graph
+        algorithm = NonConvexSparseCutGossip(
+            partition, epoch_length=1, gain="exact"
+        )
+        algorithm.setup(
+            graph, np.zeros(graph.n_vertices), np.random.default_rng(0)
+        )
+        values = np.where(partition.side == 0, delta, -delta).astype(float)
+        values = values.tolist()
+        edge = algorithm.designated_edge
+        u, v = graph.edge_endpoints(edge)
+        lo, hi = -delta, delta
+        result = algorithm.on_tick(edge, u, v, 1.0, 1, values)
+        new_u, new_v = result
+        assert new_u < lo - 1e-9 or new_u > hi + 1e-9 or (
+            new_v < lo - 1e-9 or new_v > hi + 1e-9
+        )

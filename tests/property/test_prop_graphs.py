@@ -1,0 +1,136 @@
+"""Property-based tests for the graph layer."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builders import graph_from_adjacency_matrix, relabel_graph
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+from repro.graphs.properties import connected_components
+from repro.graphs.spectral import laplacian_matrix
+
+
+@st.composite
+def random_graphs(draw, min_vertices: int = 2, max_vertices: int = 12):
+    """A random simple graph as (n, edge set)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+    ) if possible else []
+    return Graph(n, edges)
+
+
+@st.composite
+def connected_graphs(draw, min_vertices: int = 2, max_vertices: int = 12):
+    """A random connected graph (random spanning tree + extra edges)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    # Random spanning tree: attach each vertex to a random earlier one.
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    extra = draw(st.lists(st.sampled_from(possible), max_size=2 * n))
+    edges.update(extra)
+    return Graph(n, sorted(edges))
+
+
+class TestGraphInvariants:
+    @given(random_graphs())
+    def test_handshake_lemma(self, graph):
+        assert int(graph.degrees.sum()) == 2 * graph.n_edges
+
+    @given(random_graphs())
+    def test_adjacency_roundtrip(self, graph):
+        assert graph_from_adjacency_matrix(graph.adjacency_matrix()) == graph
+
+    @given(random_graphs())
+    def test_neighbor_symmetry(self, graph):
+        for u in graph:
+            for v in graph.neighbors(u):
+                assert u in graph.neighbors(int(v))
+
+    @given(random_graphs())
+    def test_components_partition_vertices(self, graph):
+        components = connected_components(graph)
+        combined = sorted(int(v) for c in components for v in c)
+        assert combined == list(range(graph.n_vertices))
+
+    @given(random_graphs(min_vertices=3))
+    def test_laplacian_psd(self, graph):
+        values = np.linalg.eigvalsh(laplacian_matrix(graph))
+        assert values.min() > -1e-9
+
+    @given(connected_graphs(), st.randoms(use_true_random=False))
+    def test_relabel_preserves_degree_multiset(self, graph, pyrandom):
+        mapping = list(range(graph.n_vertices))
+        pyrandom.shuffle(mapping)
+        relabeled = relabel_graph(graph, mapping)
+        assert sorted(relabeled.degrees.tolist()) == sorted(
+            graph.degrees.tolist()
+        )
+
+    @given(connected_graphs())
+    def test_connected_detector_agrees_with_components(self, graph):
+        assert graph.is_connected()
+        assert len(connected_components(graph)) == 1
+
+
+class TestPartitionInvariants:
+    @given(connected_graphs(min_vertices=2), st.data())
+    def test_partition_edge_accounting(self, graph, data):
+        side = data.draw(
+            st.lists(
+                st.integers(0, 1),
+                min_size=graph.n_vertices,
+                max_size=graph.n_vertices,
+            ).filter(lambda s: 0 < sum(s) < len(s))
+        )
+        partition = Partition(graph, side)
+        assert partition.n1 + partition.n2 == graph.n_vertices
+        assert partition.n1 <= partition.n2
+        total = (
+            partition.cut_size
+            + len(partition.internal_edge_ids(0))
+            + len(partition.internal_edge_ids(1))
+        )
+        assert total == graph.n_edges
+
+    @given(connected_graphs(min_vertices=2), st.data())
+    def test_cut_edges_cross_and_internals_do_not(self, graph, data):
+        side = data.draw(
+            st.lists(
+                st.integers(0, 1),
+                min_size=graph.n_vertices,
+                max_size=graph.n_vertices,
+            ).filter(lambda s: 0 < sum(s) < len(s))
+        )
+        partition = Partition(graph, side)
+        for edge_id in partition.cut_edge_ids:
+            u, v = graph.edge_endpoints(int(edge_id))
+            assert partition.side_of(u) != partition.side_of(v)
+        for side_index in (0, 1):
+            for edge_id in partition.internal_edge_ids(side_index):
+                u, v = graph.edge_endpoints(int(edge_id))
+                assert partition.side_of(u) == partition.side_of(v) == side_index
+
+    @given(connected_graphs(min_vertices=3), st.data())
+    def test_subgraph_maps_are_inverse(self, graph, data):
+        side = data.draw(
+            st.lists(
+                st.integers(0, 1),
+                min_size=graph.n_vertices,
+                max_size=graph.n_vertices,
+            ).filter(lambda s: 0 < sum(s) < len(s))
+        )
+        partition = Partition(graph, side)
+        g1, map1, g2, map2 = partition.subgraphs()
+        assert sorted(map1.tolist()) == partition.vertices_1.tolist()
+        assert sorted(map2.tolist()) == partition.vertices_2.tolist()
+        # Every internal edge appears in the corresponding subgraph.
+        assert g1.n_edges == len(partition.internal_edge_ids(0))
+        assert g2.n_edges == len(partition.internal_edge_ids(1))

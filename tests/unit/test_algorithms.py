@@ -1,0 +1,318 @@
+"""Unit tests for the algorithm update rules (driven tick by tick)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.convex import ConvexGossip, RandomConvexGossip
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.push_sum import PushSumGossip
+from repro.algorithms.registry import (
+    available_algorithms,
+    make_algorithm,
+    register_algorithm,
+)
+from repro.algorithms.second_order import AsyncSecondOrderGossip
+from repro.algorithms.two_timescale import TwoTimescaleGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.errors import AlgorithmError
+from repro.graphs.composites import two_cliques
+from repro.graphs.graph import Graph
+from repro.graphs.partition import Partition
+
+
+def tick(algorithm, graph, values, edge_id, *, count=1, time=1.0):
+    """Drive one tick and apply the update in place; returns the result."""
+    u, v = graph.edge_endpoints(edge_id)
+    result = algorithm.on_tick(edge_id, u, v, time, count, values)
+    if result is not None:
+        values[u], values[v] = result
+    return result
+
+
+class TestVanilla:
+    def test_pairwise_mean(self, small_path):
+        algo = VanillaGossip()
+        algo.setup(small_path, np.zeros(4), np.random.default_rng(0))
+        values = [4.0, 0.0, 2.0, 6.0]
+        tick(algo, small_path, values, small_path.edge_id(0, 1))
+        assert values[0] == values[1] == 2.0
+        assert values[2] == 2.0 and values[3] == 6.0
+
+    def test_declared_capabilities(self):
+        algo = VanillaGossip()
+        assert algo.conserves_sum and algo.monotone_variance
+
+
+class TestConvex:
+    def test_alpha_mixing(self, small_path):
+        algo = ConvexGossip(0.75)
+        algo.setup(small_path, np.zeros(4), np.random.default_rng(0))
+        values = [4.0, 0.0, 0.0, 0.0]
+        tick(algo, small_path, values, small_path.edge_id(0, 1))
+        assert values[0] == pytest.approx(3.0)
+        assert values[1] == pytest.approx(1.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ConvexGossip(1.5)
+
+    def test_alpha_one_is_identity(self, small_path):
+        algo = ConvexGossip(1.0)
+        algo.setup(small_path, np.zeros(4), np.random.default_rng(0))
+        values = [4.0, 0.0, 0.0, 0.0]
+        tick(algo, small_path, values, 0)
+        assert values == [4.0, 0.0, 0.0, 0.0]
+
+    def test_random_convex_stays_in_hull(self, small_path):
+        algo = RandomConvexGossip()
+        algo.setup(small_path, np.zeros(4), np.random.default_rng(1))
+        for _ in range(50):
+            values = [1.0, -1.0, 0.0, 0.0]
+            tick(algo, small_path, values, 0)
+            assert -1.0 - 1e-12 <= values[0] <= 1.0 + 1e-12
+            assert values[0] + values[1] == pytest.approx(0.0)
+
+    def test_random_convex_bounds_validated(self):
+        with pytest.raises(ValueError):
+            RandomConvexGossip(0.8, 0.2)
+
+
+class TestAlgorithmA:
+    def test_internal_edges_average(self, medium_dumbbell):
+        partition = medium_dumbbell.partition
+        algo = NonConvexSparseCutGossip(partition, epoch_length=1)
+        graph = medium_dumbbell.graph
+        algo.setup(graph, np.zeros(32), np.random.default_rng(0))
+        values = [float(i) for i in range(32)]
+        internal = int(partition.internal_edge_ids(0)[0])
+        u, v = graph.edge_endpoints(internal)
+        expected = 0.5 * (values[u] + values[v])
+        tick(algo, graph, values, internal)
+        assert values[u] == values[v] == pytest.approx(expected)
+
+    def test_non_designated_cut_edge_silent(self):
+        pair = two_cliques(6, 6, n_bridges=3)
+        algo = NonConvexSparseCutGossip(pair.partition, epoch_length=1)
+        graph = pair.graph
+        algo.setup(graph, np.zeros(12), np.random.default_rng(0))
+        other_cut = [
+            int(e) for e in pair.partition.cut_edge_ids
+            if int(e) != algo.designated_edge
+        ][0]
+        values = [float(i) for i in range(12)]
+        before = list(values)
+        result = tick(algo, graph, values, other_cut)
+        assert result is None and values == before
+
+    def test_swap_fires_on_epoch_multiples(self, medium_dumbbell):
+        algo = NonConvexSparseCutGossip(medium_dumbbell.partition, epoch_length=3)
+        graph = medium_dumbbell.graph
+        algo.setup(graph, np.zeros(32), np.random.default_rng(0))
+        values = [1.0 if i < 16 else -1.0 for i in range(32)]
+        edge = algo.designated_edge
+        assert tick(algo, graph, values, edge, count=1) is None
+        assert tick(algo, graph, values, edge, count=2) is None
+        assert tick(algo, graph, values, edge, count=3) is not None
+        assert algo.swap_count == 1
+
+    def test_exact_gain_zeroes_imbalance_on_mixed_state(self):
+        pair = two_cliques(4, 12, n_bridges=1)
+        partition = pair.partition
+        algo = NonConvexSparseCutGossip(partition, epoch_length=1, gain="exact")
+        graph = pair.graph
+        algo.setup(graph, np.zeros(16), np.random.default_rng(0))
+        # Perfectly mixed sides: mu1 = 3, mu2 = -1 (global mean 0).
+        values = np.where(partition.side == 0, 3.0, -1.0).tolist()
+        tick(algo, graph, values, algo.designated_edge)
+        array = np.asarray(values)
+        mu1 = array[partition.vertices_1].mean()
+        mu2 = array[partition.vertices_2].mean()
+        assert mu1 == pytest.approx(mu2)
+        assert sum(values) == pytest.approx(0.0, abs=1e-9)
+
+    def test_paper_gain_flips_balanced_imbalance(self, medium_dumbbell):
+        partition = medium_dumbbell.partition
+        algo = NonConvexSparseCutGossip(partition, epoch_length=1, gain="paper")
+        graph = medium_dumbbell.graph
+        algo.setup(graph, np.zeros(32), np.random.default_rng(0))
+        values = np.where(partition.side == 0, 1.0, -1.0).tolist()
+        tick(algo, graph, values, algo.designated_edge)
+        array = np.asarray(values)
+        mu1 = array[partition.vertices_1].mean()
+        mu2 = array[partition.vertices_2].mean()
+        # Balanced halves: the means exchange exactly (delta flips sign).
+        assert mu1 == pytest.approx(-1.0)
+        assert mu2 == pytest.approx(1.0)
+
+    def test_oracle_means_ignores_endpoint_noise(self, medium_dumbbell):
+        partition = medium_dumbbell.partition
+        algo = NonConvexSparseCutGossip(
+            partition, epoch_length=1, gain="exact", oracle_means=True
+        )
+        graph = medium_dumbbell.graph
+        algo.setup(graph, np.zeros(32), np.random.default_rng(0))
+        values = np.where(partition.side == 0, 2.0, -2.0)
+        # Perturb the designated endpoints; the oracle swap must still
+        # equalize the side means exactly.
+        u, v = graph.edge_endpoints(algo.designated_edge)
+        values = values.astype(float)
+        values[u] += 0.5
+        values[v] -= 0.25
+        values = values.tolist()
+        tick(algo, graph, values, algo.designated_edge)
+        array = np.asarray(values)
+        mu1 = array[partition.vertices_1].mean()
+        mu2 = array[partition.vertices_2].mean()
+        assert mu1 == pytest.approx(mu2)
+
+    def test_gain_values(self, medium_dumbbell):
+        partition = medium_dumbbell.partition
+        assert NonConvexSparseCutGossip(
+            partition, epoch_length=1, gain="exact"
+        ).gain == pytest.approx(16 * 16 / 32)
+        assert NonConvexSparseCutGossip(
+            partition, epoch_length=1, gain="paper"
+        ).gain == 16.0
+        assert NonConvexSparseCutGossip(
+            partition, epoch_length=1, gain=2.5
+        ).gain == 2.5
+
+    def test_validation(self, medium_dumbbell):
+        partition = medium_dumbbell.partition
+        with pytest.raises(AlgorithmError):
+            NonConvexSparseCutGossip(partition, epoch_length=0)
+        with pytest.raises(AlgorithmError):
+            NonConvexSparseCutGossip(partition, epoch_length=1, gain=0)
+        with pytest.raises(AlgorithmError):
+            NonConvexSparseCutGossip(partition, epoch_length=1, gain="typo")
+        internal = int(partition.internal_edge_ids(0)[0])
+        with pytest.raises(AlgorithmError, match="not a cut edge"):
+            NonConvexSparseCutGossip(
+                partition, epoch_length=1, designated_edge=internal
+            )
+
+    def test_wrong_graph_rejected_at_setup(self, medium_dumbbell, k6):
+        algo = NonConvexSparseCutGossip(medium_dumbbell.partition, epoch_length=1)
+        with pytest.raises(AlgorithmError, match="different graph"):
+            algo.setup(k6, np.zeros(6), np.random.default_rng(0))
+
+    def test_describe_contents(self, medium_dumbbell):
+        algo = NonConvexSparseCutGossip(medium_dumbbell.partition, epoch_length=4)
+        info = algo.describe()
+        assert info["epoch_length"] == 4
+        assert info["n1"] == 16
+
+
+class TestTwoTimescale:
+    def test_cut_edges_use_slow_step(self, medium_dumbbell):
+        partition = medium_dumbbell.partition
+        algo = TwoTimescaleGossip(partition, slow_step=0.1)
+        graph = medium_dumbbell.graph
+        algo.setup(graph, np.zeros(32), np.random.default_rng(0))
+        cut_edge = int(partition.cut_edge_ids[0])
+        u, v = graph.edge_endpoints(cut_edge)
+        values = [0.0] * 32
+        values[u], values[v] = 1.0, -1.0
+        tick(algo, graph, values, cut_edge)
+        assert values[u] == pytest.approx(0.8)
+        assert values[v] == pytest.approx(-0.8)
+
+    def test_harmonic_schedule_decays(self, medium_dumbbell):
+        algo = TwoTimescaleGossip(
+            medium_dumbbell.partition, slow_step=0.4, schedule="harmonic", tau=1.0
+        )
+        graph = medium_dumbbell.graph
+        algo.setup(graph, np.zeros(32), np.random.default_rng(0))
+        cut_edge = int(medium_dumbbell.partition.cut_edge_ids[0])
+        u, v = graph.edge_endpoints(cut_edge)
+        deltas = []
+        for _ in range(3):
+            values = [0.0] * 32
+            values[u], values[v] = 1.0, -1.0
+            tick(algo, graph, values, cut_edge)
+            deltas.append(1.0 - values[u])
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_validation(self, medium_dumbbell):
+        with pytest.raises(AlgorithmError):
+            TwoTimescaleGossip(medium_dumbbell.partition, slow_step=0.9)
+        with pytest.raises(AlgorithmError):
+            TwoTimescaleGossip(medium_dumbbell.partition, schedule="exp")
+        with pytest.raises(AlgorithmError):
+            TwoTimescaleGossip(medium_dumbbell.partition, tau=-1)
+
+
+class TestPushSum:
+    def test_mass_conserved(self, k6):
+        algo = PushSumGossip()
+        values = np.arange(6, dtype=float)
+        algo.setup(k6, values, np.random.default_rng(3))
+        working = values.tolist()
+        for edge_id in range(k6.n_edges):
+            tick(algo, k6, working, edge_id)
+        assert algo.total_mass() == pytest.approx(values.sum())
+
+    def test_estimates_move_toward_average(self, k6):
+        algo = PushSumGossip()
+        values = np.array([6.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        algo.setup(k6, values, np.random.default_rng(4))
+        working = values.tolist()
+        rng = np.random.default_rng(5)
+        for step in range(400):
+            tick(algo, k6, working, int(rng.integers(k6.n_edges)), count=step + 1)
+        assert np.allclose(working, 1.0, atol=0.2)
+
+    def test_total_mass_requires_setup(self):
+        with pytest.raises(RuntimeError):
+            PushSumGossip().total_mass()
+
+
+class TestAsyncSecondOrder:
+    def test_beta_one_is_vanilla(self, small_path):
+        algo = AsyncSecondOrderGossip(1.0)
+        algo.setup(small_path, np.array([4.0, 0.0, 0.0, 0.0]), np.random.default_rng(0))
+        values = [4.0, 0.0, 0.0, 0.0]
+        tick(algo, small_path, values, small_path.edge_id(0, 1))
+        assert values[0] == values[1] == pytest.approx(2.0)
+
+    def test_momentum_extrapolates(self, small_path):
+        algo = AsyncSecondOrderGossip(1.5)
+        algo.setup(small_path, np.array([4.0, 0.0, 0.0, 0.0]), np.random.default_rng(0))
+        values = [4.0, 0.0, 0.0, 0.0]
+        tick(algo, small_path, values, small_path.edge_id(0, 1))
+        # mean = 2; new_u = 1.5*2 - 0.5*4 = 1; new_v = 1.5*2 - 0.5*0 = 3.
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(3.0)
+
+    def test_beta_validation(self):
+        with pytest.raises(AlgorithmError):
+            AsyncSecondOrderGossip(2.5)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = available_algorithms()
+        assert "vanilla" in names and "algorithm-a" in names
+
+    def test_make_with_kwargs(self, medium_dumbbell):
+        algo = make_algorithm(
+            "algorithm-a", partition=medium_dumbbell.partition, epoch_length=2
+        )
+        assert isinstance(algo, NonConvexSparseCutGossip)
+
+    def test_unknown_name(self):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            make_algorithm("nope")
+
+    def test_register_custom_and_overwrite_guard(self):
+        register_algorithm("test-custom", VanillaGossip, overwrite=True)
+        assert isinstance(make_algorithm("test-custom"), VanillaGossip)
+        with pytest.raises(AlgorithmError, match="already registered"):
+            register_algorithm("test-custom", VanillaGossip)
+
+    def test_setup_shape_validation(self, k6):
+        algo = VanillaGossip()
+        with pytest.raises(ValueError):
+            algo.setup(k6, np.zeros(3), np.random.default_rng(0))

@@ -1,0 +1,94 @@
+"""Statistical validation of the Poisson edge-clock model.
+
+The paper's probabilistic statements all live on this process, so its
+distributional properties get explicit goodness-of-fit tests (fixed seeds,
+conservative significance levels — these must not flake).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.clocks.poisson import PoissonEdgeClocks
+
+
+class TestDistributionalCorrectness:
+    def test_gaps_are_exponential_ks(self):
+        m = 7
+        clocks = PoissonEdgeClocks(m, seed=101)
+        times, _ = clocks.next_batch(20_000)
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        statistic, p_value = scipy.stats.kstest(
+            gaps, "expon", args=(0, 1.0 / m)
+        )
+        assert p_value > 1e-3
+
+    def test_per_edge_counts_are_poisson(self):
+        """Counts of one edge over fixed windows ~ Poisson(window)."""
+        m = 5
+        window = 4.0
+        clocks = PoissonEdgeClocks(m, seed=102)
+        # Generate enough events to cover many windows.
+        times, edges = clocks.next_batch(120_000)
+        horizon = float(times[-1])
+        n_windows = int(horizon // window)
+        counts = np.zeros(n_windows, dtype=np.int64)
+        mask = edges == 0
+        window_index = (times[mask] // window).astype(np.int64)
+        window_index = window_index[window_index < n_windows]
+        np.add.at(counts, window_index, 1)
+        # Mean and variance of Poisson(window) both equal `window`.
+        assert counts.mean() == pytest.approx(window, rel=0.1)
+        assert counts.var() == pytest.approx(window, rel=0.25)
+        # Chi-square against the Poisson pmf over a binned support.
+        lam = window
+        support = np.arange(0, 13)
+        expected_probabilities = scipy.stats.poisson.pmf(support, lam)
+        tail = 1.0 - expected_probabilities.sum()
+        observed = np.array(
+            [(counts == k).sum() for k in support] + [(counts > 12).sum()],
+            dtype=float,
+        )
+        expected = np.concatenate([expected_probabilities, [tail]]) * len(counts)
+        keep = expected > 4
+        statistic = float(((observed[keep] - expected[keep]) ** 2 /
+                           expected[keep]).sum())
+        dof = int(keep.sum()) - 1
+        p_value = 1.0 - scipy.stats.chi2.cdf(statistic, dof)
+        assert p_value > 1e-3
+
+    def test_edge_choice_is_uniform_chi_square(self):
+        m = 12
+        clocks = PoissonEdgeClocks(m, seed=103)
+        _, edges = clocks.next_batch(60_000)
+        observed = np.bincount(edges, minlength=m).astype(float)
+        expected = np.full(m, 60_000 / m)
+        statistic = float(((observed - expected) ** 2 / expected).sum())
+        p_value = 1.0 - scipy.stats.chi2.cdf(statistic, m - 1)
+        assert p_value > 1e-3
+
+    def test_superposition_matches_independent_clocks(self):
+        """Mean per-edge rate equals 1 under the superposed construction."""
+        m = 9
+        clocks = PoissonEdgeClocks(m, seed=104)
+        times, edges = clocks.next_batch(90_000)
+        horizon = float(times[-1])
+        rates = np.bincount(edges, minlength=m) / horizon
+        assert np.allclose(rates, 1.0, atol=0.05)
+
+    def test_thinning_gives_scaled_rates(self):
+        """LossyClocks with drop p behaves like rate (1 - p) clocks."""
+        from repro.clocks.unreliable import LossyClocks
+
+        m, p = 6, 0.4
+        lossy = LossyClocks(PoissonEdgeClocks(m, seed=105), p, seed=106)
+        kept_times = []
+        for _ in range(12):
+            times, _ = lossy.next_batch(10_000)
+            kept_times.append(times)
+        all_times = np.concatenate(kept_times)
+        horizon = float(all_times[-1])
+        measured_rate = len(all_times) / horizon
+        assert measured_rate == pytest.approx(m * (1 - p), rel=0.05)

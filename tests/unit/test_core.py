@@ -1,0 +1,156 @@
+"""Unit tests for the core orchestration layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlgorithmAConfig
+from repro.core.epochs import (
+    epoch_length_ticks,
+    vanilla_time_empirical,
+    vanilla_time_spectral,
+)
+from repro.core.sparse_cut_averaging import SparseCutAveraging
+from repro.errors import AlgorithmError
+from repro.graphs.composites import dumbbell_graph, two_cliques
+from repro.graphs.graph import Graph
+from repro.graphs.topologies import complete_graph
+
+
+class TestEpochs:
+    def test_spectral_tvan_complete_graph(self):
+        assert vanilla_time_spectral(complete_graph(16)) == pytest.approx(0.25)
+
+    def test_empirical_tvan_close_to_spectral(self):
+        graph = complete_graph(16)
+        empirical = vanilla_time_empirical(graph, n_replicates=12, seed=0)
+        spectral = vanilla_time_spectral(graph)
+        assert 0.2 * spectral < empirical < 10.0 * spectral
+
+    def test_epoch_length_formula(self, medium_dumbbell):
+        partition = medium_dumbbell.partition
+        length = epoch_length_ticks(partition, constant=3.0)
+        expected = math.ceil(3.0 * (0.25 + 0.25) * math.log(32))
+        assert length == expected
+
+    def test_epoch_length_floors_at_one(self):
+        pair = dumbbell_graph(256)  # Tvan ~ 4/128, tiny product
+        assert epoch_length_ticks(pair.partition, constant=0.01) == 1
+
+    def test_epoch_length_validation(self, medium_dumbbell):
+        with pytest.raises(AlgorithmError):
+            epoch_length_ticks(medium_dumbbell.partition, constant=-1.0)
+        with pytest.raises(AlgorithmError):
+            epoch_length_ticks(medium_dumbbell.partition, method="psychic")
+
+    def test_empirical_method_runs(self, medium_dumbbell):
+        length = epoch_length_ticks(
+            medium_dumbbell.partition, constant=3.0, method="empirical", seed=1
+        )
+        assert length >= 1
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = AlgorithmAConfig()
+        assert config.epoch_constant == 3.0
+        assert config.gain == "exact"
+        assert config.tvan_method == "spectral"
+
+    def test_validation(self):
+        with pytest.raises(AlgorithmError):
+            AlgorithmAConfig(epoch_constant=0)
+        with pytest.raises(AlgorithmError):
+            AlgorithmAConfig(tvan_method="guess")
+        with pytest.raises(AlgorithmError):
+            AlgorithmAConfig(epoch_length_override=0)
+
+    def test_to_dict(self):
+        info = AlgorithmAConfig(gain="paper").to_dict()
+        assert info["gain"] == "paper"
+
+
+class TestSparseCutAveraging:
+    def test_auto_detects_planted_cut(self, medium_dumbbell):
+        sca = SparseCutAveraging(medium_dumbbell.graph)
+        assert sca.partition.cut_size == 1
+        assert sca.cut_method == "fiedler_sweep"
+
+    def test_provided_partition_used(self, medium_dumbbell):
+        sca = SparseCutAveraging(
+            medium_dumbbell.graph, partition=medium_dumbbell.partition
+        )
+        assert sca.cut_method == "provided"
+
+    def test_run_converges_and_preserves_mean(self, medium_dumbbell):
+        sca = SparseCutAveraging(
+            medium_dumbbell.graph, partition=medium_dumbbell.partition
+        )
+        x0 = [float(i) for i in range(32)]
+        result = sca.run(x0, seed=0, target_ratio=1e-6)
+        assert result.variance_ratio <= 1e-6
+        assert result.values.mean() == pytest.approx(np.mean(x0))
+
+    def test_epoch_length_override(self, medium_dumbbell):
+        sca = SparseCutAveraging(
+            medium_dumbbell.graph,
+            partition=medium_dumbbell.partition,
+            config=AlgorithmAConfig(epoch_length_override=7),
+        )
+        assert sca.epoch_length() == 7
+        assert sca.build_algorithm().epoch_length == 7
+
+    def test_bounds_sensible(self, medium_dumbbell):
+        sca = SparseCutAveraging(
+            medium_dumbbell.graph, partition=medium_dumbbell.partition
+        )
+        assert sca.theorem1_lower_bound() == pytest.approx(
+            (1 - 1 / math.e) ** 2 / 4 * 16
+        )
+        assert sca.theorem2_upper_bound() == pytest.approx(
+            3.0 * math.log(32) * 0.5
+        )
+
+    def test_averaging_time_within_theorem2_envelope(self, medium_dumbbell):
+        sca = SparseCutAveraging(
+            medium_dumbbell.graph, partition=medium_dumbbell.partition
+        )
+        partition = medium_dumbbell.partition
+        x0 = np.where(partition.side == 0, 1.0, -1.0)
+        estimate = sca.averaging_time(x0, n_replicates=4, seed=1)
+        assert not estimate.is_censored
+        # Theorem 2 is an order bound; at n=32 the first-swap latency
+        # (~epoch length in time units) dominates, so allow the epoch
+        # length plus a constant factor over the envelope.
+        envelope = sca.theorem2_upper_bound() + sca.epoch_length()
+        assert estimate.estimate < 2.0 * envelope
+
+    def test_summary_fields(self, medium_dumbbell):
+        sca = SparseCutAveraging(
+            medium_dumbbell.graph, partition=medium_dumbbell.partition
+        )
+        summary = sca.summary()
+        for key in ("n1", "cut_size", "epoch_length", "tvan_g1",
+                    "theorem1_lower_bound_convex", "config"):
+            assert key in summary
+
+    def test_disconnected_graph_rejected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(AlgorithmError, match="connected"):
+            SparseCutAveraging(graph)
+
+    def test_foreign_partition_rejected(self, medium_dumbbell, small_dumbbell):
+        with pytest.raises(AlgorithmError, match="different graph"):
+            SparseCutAveraging(
+                medium_dumbbell.graph, partition=small_dumbbell.partition
+            )
+
+    def test_unbalanced_instance(self):
+        pair = two_cliques(6, 18, n_bridges=1)
+        sca = SparseCutAveraging(pair.graph, partition=pair.partition)
+        x0 = np.where(pair.partition.side == 0, 1.0, -6.0 / 18.0)
+        result = sca.run(x0, seed=2, target_ratio=1e-5)
+        assert result.variance_ratio <= 1e-5

@@ -1,0 +1,152 @@
+"""Unit tests for the immutable Graph core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeError, VertexError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_basic_counts(self, triangle):
+        assert triangle.n_vertices == 3
+        assert triangle.n_edges == 3
+        assert len(triangle) == 3
+
+    def test_empty_graph(self):
+        graph = Graph(0, [])
+        assert graph.n_vertices == 0
+        assert graph.n_edges == 0
+
+    def test_isolated_vertices_allowed(self):
+        graph = Graph(5, [(0, 1)])
+        assert graph.degree(4) == 0
+
+    def test_edges_normalized_and_sorted(self):
+        graph = Graph(4, [(3, 1), (2, 0), (1, 0)])
+        expected = np.array([[0, 1], [0, 2], [1, 3]])
+        assert np.array_equal(graph.edges, expected)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(EdgeError, match="self-loop"):
+            Graph(3, [(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(EdgeError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(VertexError):
+            Graph(3, [(0, 3)])
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(EdgeError, match="malformed"):
+            Graph(3, [(0,)])
+
+    def test_edges_array_is_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.edges[0, 0] = 9
+
+
+class TestAccessors:
+    def test_degrees(self, small_path):
+        assert small_path.degree(0) == 1
+        assert small_path.degree(1) == 2
+        assert np.array_equal(small_path.degrees, [1, 2, 2, 1])
+
+    def test_neighbors_sorted_content(self, triangle):
+        assert sorted(triangle.neighbors(0).tolist()) == [1, 2]
+
+    def test_incident_edges_match_endpoints(self, small_path):
+        for vertex in small_path:
+            for edge_id in small_path.incident_edges(vertex):
+                endpoints = small_path.edge_endpoints(int(edge_id))
+                assert vertex in endpoints
+
+    def test_edge_id_roundtrip(self, k6):
+        for edge_id in range(k6.n_edges):
+            u, v = k6.edge_endpoints(edge_id)
+            assert k6.edge_id(u, v) == edge_id
+            assert k6.edge_id(v, u) == edge_id
+
+    def test_edge_id_missing_edge(self, small_path):
+        with pytest.raises(EdgeError, match="no edge"):
+            small_path.edge_id(0, 3)
+
+    def test_edge_endpoints_out_of_range(self, triangle):
+        with pytest.raises(EdgeError):
+            triangle.edge_endpoints(99)
+
+    def test_has_edge(self, small_path):
+        assert small_path.has_edge(0, 1)
+        assert small_path.has_edge(1, 0)
+        assert not small_path.has_edge(0, 2)
+        assert not small_path.has_edge(0, 0)
+        assert not small_path.has_edge(0, 17)
+
+    def test_degree_vertex_out_of_range(self, triangle):
+        with pytest.raises(VertexError):
+            triangle.degree(5)
+
+
+class TestTraversal:
+    def test_bfs_order_covers_connected_graph(self, k6):
+        order = k6.bfs_order(0)
+        assert sorted(order.tolist()) == list(range(6))
+
+    def test_bfs_from_isolated_vertex(self):
+        graph = Graph(3, [(0, 1)])
+        assert graph.bfs_order(2).tolist() == [2]
+
+    def test_is_connected_true(self, c8):
+        assert c8.is_connected()
+
+    def test_is_connected_false(self):
+        assert not Graph(4, [(0, 1), (2, 3)]).is_connected()
+
+    def test_trivial_graphs_connected(self):
+        assert Graph(0, []).is_connected()
+        assert Graph(1, []).is_connected()
+
+
+class TestSubgraph:
+    def test_subgraph_of_complete(self, k6):
+        sub, mapping = k6.subgraph([1, 3, 5])
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 3
+        assert mapping.tolist() == [1, 3, 5]
+
+    def test_subgraph_drops_external_edges(self, small_path):
+        sub, _ = small_path.subgraph([0, 2, 3])
+        assert sub.n_edges == 1  # only (2,3) survives
+
+    def test_subgraph_duplicate_vertices_rejected(self, k6):
+        with pytest.raises(VertexError):
+            k6.subgraph([1, 1, 2])
+
+
+class TestMatrixAndDunder:
+    def test_adjacency_matrix_symmetric(self, c8):
+        matrix = c8.adjacency_matrix()
+        assert np.array_equal(matrix, matrix.T)
+        assert matrix.sum() == 2 * c8.n_edges
+
+    def test_equality_and_hash(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        c = Graph(3, [(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_sizes(self, triangle):
+        assert "n_vertices=3" in repr(triangle)
+
+    def test_iteration_yields_vertices(self, triangle):
+        assert list(triangle) == [0, 1, 2]

@@ -1,0 +1,228 @@
+"""Unit tests for the event-driven simulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.clocks.schedule import RoundRobinSchedule, ScriptedSchedule
+from repro.engine.recorder import TraceRecorder
+from repro.engine.simulator import Simulator, simulate
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+from repro.graphs.topologies import complete_graph, path_graph
+
+
+class TestBasicRuns:
+    def test_two_node_graph_converges_in_one_event(self):
+        graph = Graph(2, [(0, 1)])
+        result = simulate(graph, VanillaGossip(), [0.0, 2.0], seed=0,
+                          target_ratio=1e-12)
+        assert result.n_events == 1
+        assert np.allclose(result.values, 1.0)
+        assert result.stopped_by == "target_ratio"
+
+    def test_sum_conserved(self, k6):
+        result = simulate(
+            k6, VanillaGossip(), [float(i) for i in range(6)], seed=1,
+            target_ratio=1e-10,
+        )
+        assert result.sum_drift < 1e-9
+        assert result.values.mean() == pytest.approx(2.5)
+
+    def test_variance_reported_consistently(self, k6):
+        x0 = [float(i) for i in range(6)]
+        result = simulate(k6, VanillaGossip(), x0, seed=2, target_ratio=1e-6)
+        assert result.variance_initial == pytest.approx(float(np.var(x0)))
+        assert result.variance_final <= 1e-6 * result.variance_initial
+        assert result.variance_ratio <= 1e-6
+
+    def test_zero_variance_start_returns_immediately(self, k6):
+        result = simulate(k6, VanillaGossip(), np.ones(6), seed=0,
+                          target_ratio=0.5)
+        assert result.n_events == 0
+        assert result.stopped_by == "target_ratio"
+
+    def test_max_events_budget(self, k6):
+        result = simulate(k6, VanillaGossip(), [1.0, -1.0, 0, 0, 0, 0],
+                          seed=0, max_events=10)
+        assert result.n_events == 10
+        assert result.stopped_by == "max_events"
+
+    def test_max_time_budget(self, k6):
+        result = simulate(k6, VanillaGossip(), [1.0, -1.0, 0, 0, 0, 0],
+                          seed=0, max_time=0.5)
+        assert result.duration >= 0.5
+        assert result.stopped_by == "max_time"
+
+    def test_requires_some_budget(self, k6):
+        with pytest.raises(SimulationError, match="at least one"):
+            simulate(k6, VanillaGossip(), np.zeros(6), seed=0)
+
+    def test_shape_validation(self, k6):
+        with pytest.raises(SimulationError):
+            Simulator(k6, VanillaGossip(), np.zeros(4))
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(SimulationError, match="no edges"):
+            Simulator(Graph(3, []), VanillaGossip(), np.zeros(3))
+
+    def test_reproducible_with_seed(self, k6):
+        x0 = [float(i) for i in range(6)]
+        a = simulate(k6, VanillaGossip(), x0, seed=42, max_events=500)
+        b = simulate(k6, VanillaGossip(), x0, seed=42, max_events=500)
+        assert np.array_equal(a.values, b.values)
+        assert a.duration == b.duration
+
+
+class TestDeterministicClocks:
+    def test_scripted_sequence_applies_in_order(self):
+        graph = path_graph(3)
+        schedule = ScriptedSchedule.uniform_times(
+            [graph.edge_id(0, 1), graph.edge_id(1, 2)]
+        )
+        result = simulate(graph, VanillaGossip(), [4.0, 0.0, 0.0],
+                          clock=schedule, max_events=10)
+        # (0,1) -> [2,2,0]; then (1,2) -> [2,1,1].
+        assert result.values.tolist() == [2.0, 1.0, 1.0]
+        assert result.stopped_by == "clock_exhausted"
+
+    def test_round_robin_touches_every_edge(self, k6):
+        schedule = RoundRobinSchedule(k6.n_edges)
+        result = simulate(k6, VanillaGossip(), [float(i) for i in range(6)],
+                          clock=schedule, max_events=k6.n_edges)
+        assert result.n_events == k6.n_edges
+        assert result.n_updates == k6.n_edges
+
+    def test_clock_edge_count_mismatch_rejected(self, k6):
+        with pytest.raises(SimulationError, match="clock models"):
+            Simulator(k6, VanillaGossip(), np.zeros(6),
+                      clock=RoundRobinSchedule(3))
+
+
+class TestCrossings:
+    def test_monotone_crossing_consistency(self, k6):
+        threshold = math.e**-2
+        result = simulate(
+            k6, VanillaGossip(), [float(i) for i in range(6)], seed=3,
+            target_ratio=1e-8, thresholds=(threshold,),
+        )
+        crossing = result.crossing(threshold)
+        assert crossing.first_below is not None
+        assert crossing.last_above <= crossing.first_below
+        assert crossing.first_below <= result.duration
+
+    def test_multiple_thresholds_ordered(self, k6):
+        result = simulate(
+            k6, VanillaGossip(), [float(i) for i in range(6)], seed=4,
+            target_ratio=1e-8, thresholds=(0.5, 0.1, 0.01),
+        )
+        t_50 = result.crossing(0.5).first_below
+        t_10 = result.crossing(0.1).first_below
+        t_01 = result.crossing(0.01).first_below
+        assert t_50 <= t_10 <= t_01
+
+    def test_untracked_threshold_raises(self, k6):
+        result = simulate(k6, VanillaGossip(), [1.0, 0, 0, 0, 0, -1.0],
+                          seed=0, max_events=5)
+        with pytest.raises(KeyError, match="not tracked"):
+            result.crossing(0.123)
+
+    def test_nonconvex_last_above_beyond_first_below(self, medium_dumbbell):
+        """Algorithm A's excursions make last_above > first_below.
+
+        Construction: mostly within-side noise plus a small imbalance.
+        Internal mixing pushes the variance below e^-2 of its start long
+        before the first swap (epoch 12); the swap then spikes it back
+        above the threshold before the system finally settles.
+        """
+        partition = medium_dumbbell.partition
+        algo = NonConvexSparseCutGossip(partition, epoch_length=12, gain="exact")
+        rng = np.random.default_rng(17)
+        x0 = rng.normal(0.0, 1.0, size=32)
+        x0 += np.where(partition.side == 0, 0.3, -0.3)
+        x0 -= x0.mean()
+        result = simulate(
+            medium_dumbbell.graph, algo, x0, seed=5, max_time=100.0,
+            target_ratio=1e-9, thresholds=(math.e**-2,),
+        )
+        crossing = result.crossing(math.e**-2)
+        assert crossing.first_below is not None
+        assert crossing.last_above > crossing.first_below
+        assert result.stopped_by == "target_ratio"
+
+
+class TestDivergenceGuard:
+    def test_diverging_algorithm_aborts(self, k6):
+        class Doubler(VanillaGossip):
+            name = "doubler"
+            monotone_variance = False
+
+            def on_tick(self, edge_id, u, v, time, tick_count, values):
+                return 2.0 * values[u] + 1.0, 2.0 * values[v] - 1.0
+
+        result = simulate(k6, Doubler(), [1.0, -1.0, 0, 0, 0, 0], seed=0,
+                          max_events=1_000_000, divergence_ratio=1e6)
+        assert result.stopped_by == "diverged"
+        assert result.n_events < 1_000_000
+
+
+class TestRecorder:
+    def test_samples_taken(self, k6):
+        recorder = TraceRecorder(sample_every=10)
+        result = simulate(k6, VanillaGossip(), [float(i) for i in range(6)],
+                          seed=6, max_events=100, recorder=recorder)
+        assert result.trace_times is not None
+        assert recorder.n_samples >= 11  # t=0, 10 interior, final
+        assert recorder.variances[0] == pytest.approx(result.variance_initial)
+
+    def test_probes_evaluated(self, k6):
+        recorder = TraceRecorder(
+            sample_every=25, probes={"max": lambda x: float(np.max(x))}
+        )
+        simulate(k6, VanillaGossip(), [float(i) for i in range(6)],
+                 seed=7, max_events=100, recorder=recorder)
+        assert len(recorder.probe("max")) == recorder.n_samples
+        with pytest.raises(KeyError):
+            recorder.probe("unknown")
+
+    def test_recorder_clear(self, k6):
+        recorder = TraceRecorder(sample_every=10)
+        simulate(k6, VanillaGossip(), [1.0, 0, 0, 0, 0, -1.0], seed=0,
+                 max_events=50, recorder=recorder)
+        recorder.clear()
+        assert recorder.n_samples == 0
+
+    def test_sample_every_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(sample_every=0)
+
+
+class TestIncrementalStatistics:
+    def test_incremental_variance_matches_recompute(self, k6):
+        """Force frequent exact recomputes and compare trajectories."""
+        x0 = [float(i) for i in range(6)]
+        fast = Simulator(k6, VanillaGossip(), x0, seed=8, recompute_every=1)
+        loose = Simulator(k6, VanillaGossip(), x0, seed=8,
+                          recompute_every=10_000)
+        result_fast = fast.run(max_events=2_000)
+        result_loose = loose.run(max_events=2_000)
+        assert np.allclose(result_fast.values, result_loose.values)
+        assert result_fast.variance_final == pytest.approx(
+            result_loose.variance_final, rel=1e-9, abs=1e-15
+        )
+
+    def test_run_parameter_validation(self, k6):
+        simulator = Simulator(k6, VanillaGossip(), np.zeros(6))
+        with pytest.raises(SimulationError):
+            simulator.run(max_time=-1.0)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=0)
+        with pytest.raises(SimulationError):
+            simulator.run(target_ratio=-0.5)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=5, thresholds=(0.0,))

@@ -1,0 +1,177 @@
+"""Unit tests for failure-injected clocks and the resilient Algorithm A."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.resilient import ResilientSparseCutGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.clocks.poisson import PoissonEdgeClocks
+from repro.clocks.schedule import ScriptedSchedule
+from repro.clocks.unreliable import FailingEdgeClocks, LossyClocks
+from repro.engine.simulator import Simulator, simulate
+from repro.errors import AlgorithmError
+from repro.experiments.workloads import cut_aligned
+from repro.graphs.composites import two_cliques
+
+
+class TestLossyClocks:
+    def test_drop_rate_statistics(self):
+        inner = PoissonEdgeClocks(4, seed=0)
+        lossy = LossyClocks(inner, 0.5, seed=1)
+        total = 0
+        for _ in range(20):
+            times, _ = lossy.next_batch(1000)
+            total += len(times)
+        assert total == pytest.approx(10_000, rel=0.05)
+
+    def test_zero_loss_is_transparent(self):
+        inner = PoissonEdgeClocks(4, seed=0)
+        reference = PoissonEdgeClocks(4, seed=0)
+        lossy = LossyClocks(inner, 0.0, seed=1)
+        times, edges = lossy.next_batch(100)
+        ref_times, ref_edges = reference.next_batch(100)
+        assert np.array_equal(times, ref_times)
+        assert np.array_equal(edges, ref_edges)
+
+    def test_per_edge_probabilities(self):
+        inner = PoissonEdgeClocks(2, seed=0)
+        lossy = LossyClocks(inner, [0.0, 0.9], seed=2)
+        kept = np.zeros(2)
+        for _ in range(30):
+            _, edges = lossy.next_batch(1000)
+            kept += np.bincount(edges, minlength=2)
+        # Edge 0 keeps everything (~15k), edge 1 keeps ~10%.
+        assert kept[0] == pytest.approx(15_000, rel=0.1)
+        assert kept[1] == pytest.approx(1_500, rel=0.3)
+
+    def test_validation(self):
+        inner = PoissonEdgeClocks(2, seed=0)
+        with pytest.raises(ValueError):
+            LossyClocks(inner, 1.0)
+        with pytest.raises(ValueError):
+            LossyClocks(inner, -0.1)
+
+    def test_lossy_vanilla_still_converges(self, k6):
+        clock = LossyClocks(PoissonEdgeClocks(k6.n_edges, seed=3), 0.4, seed=4)
+        result = simulate(k6, VanillaGossip(), [float(i) for i in range(6)],
+                          clock=clock, seed=3, target_ratio=1e-8)
+        assert result.stopped_by == "target_ratio"
+
+
+class TestFailingEdgeClocks:
+    def test_scripted_death_stops_edge(self):
+        inner = ScriptedSchedule(
+            [(1.0, 0), (2.0, 1), (3.0, 0), (4.0, 1)], n_edges=2
+        )
+        failing = FailingEdgeClocks(inner, {0: 2.5})
+        times, edges = failing.next_batch(10)
+        assert list(zip(times.tolist(), edges.tolist())) == [
+            (1.0, 0), (2.0, 1), (4.0, 1)
+        ]
+
+    def test_random_lifetimes(self):
+        inner = PoissonEdgeClocks(10, seed=5)
+        failing = FailingEdgeClocks(inner, 0.5, seed=6)
+        deaths = failing.death_times
+        assert deaths.shape == (10,)
+        assert np.all(deaths > 0)
+
+    def test_validation(self):
+        inner = PoissonEdgeClocks(3, seed=0)
+        with pytest.raises(ValueError):
+            FailingEdgeClocks(inner, {5: 1.0})
+        with pytest.raises(ValueError):
+            FailingEdgeClocks(inner, {0: -1.0})
+        with pytest.raises(ValueError):
+            FailingEdgeClocks(inner, 0.0)
+
+
+@pytest.fixture
+def bridged_pair_3():
+    return two_cliques(12, 12, n_bridges=3)
+
+
+class TestResilientAlgorithmA:
+    def test_behaves_like_plain_a_without_failures(self, bridged_pair_3):
+        pair = bridged_pair_3
+        x0 = cut_aligned(pair.partition)
+        plain = simulate(
+            pair.graph,
+            NonConvexSparseCutGossip(pair.partition, epoch_length=4),
+            x0, seed=7, target_ratio=1e-8, max_time=500.0,
+        )
+        resilient_algo = ResilientSparseCutGossip(
+            pair.partition, epoch_length=4
+        )
+        resilient = simulate(
+            pair.graph, resilient_algo, x0, seed=7,
+            target_ratio=1e-8, max_time=500.0,
+        )
+        assert plain.stopped_by == resilient.stopped_by == "target_ratio"
+        assert resilient_algo.takeover_count == 0
+        # Identical clocks, identical updates => identical trajectories.
+        assert np.allclose(plain.values, resilient.values)
+
+    def test_plain_a_stalls_when_designated_edge_dies(self, bridged_pair_3):
+        pair = bridged_pair_3
+        x0 = cut_aligned(pair.partition)
+        algo = NonConvexSparseCutGossip(pair.partition, epoch_length=4)
+        clock = FailingEdgeClocks(
+            PoissonEdgeClocks(pair.graph.n_edges, seed=8),
+            {algo.designated_edge: 1.0},
+        )
+        result = Simulator(pair.graph, algo, x0, clock=clock, seed=8).run(
+            target_ratio=1e-6, max_time=300.0
+        )
+        assert result.stopped_by == "max_time"
+        assert result.variance_ratio > 0.5  # the imbalance never drained
+
+    def test_resilient_fails_over_and_converges(self, bridged_pair_3):
+        pair = bridged_pair_3
+        x0 = cut_aligned(pair.partition)
+        algo = ResilientSparseCutGossip(pair.partition, epoch_length=4)
+        original = algo.designated_edge
+        clock = FailingEdgeClocks(
+            PoissonEdgeClocks(pair.graph.n_edges, seed=9),
+            {original: 1.0},
+        )
+        result = Simulator(pair.graph, algo, x0, clock=clock, seed=9).run(
+            target_ratio=1e-6, max_time=300.0
+        )
+        assert result.stopped_by == "target_ratio"
+        assert algo.takeover_count >= 1
+        assert algo.designated_edge != original
+
+    def test_setup_resets_failover_state(self, bridged_pair_3):
+        pair = bridged_pair_3
+        algo = ResilientSparseCutGossip(pair.partition, epoch_length=4)
+        original = algo.designated_edge
+        clock = FailingEdgeClocks(
+            PoissonEdgeClocks(pair.graph.n_edges, seed=10),
+            {original: 1.0},
+        )
+        x0 = cut_aligned(pair.partition)
+        Simulator(pair.graph, algo, x0, clock=clock, seed=10).run(
+            target_ratio=1e-6, max_time=300.0
+        )
+        assert algo.designated_edge != original
+        algo.setup(pair.graph, x0, np.random.default_rng(0))
+        assert algo.designated_edge == original
+        assert algo.takeover_count == 0
+
+    def test_timeout_validation(self, bridged_pair_3):
+        with pytest.raises(AlgorithmError):
+            ResilientSparseCutGossip(
+                bridged_pair_3.partition, epoch_length=4, silence_timeout=0.0
+            )
+
+    def test_describe_reports_failover_state(self, bridged_pair_3):
+        algo = ResilientSparseCutGossip(
+            bridged_pair_3.partition, epoch_length=4
+        )
+        info = algo.describe()
+        assert info["takeover_count"] == 0
+        assert info["silence_timeout"] == 12.0

@@ -26,13 +26,18 @@ from repro.core import (
     vanilla_time_spectral,
 )
 from repro.engine import (
+    AlgorithmFactory,
     AveragingTimeEstimate,
+    ExecutionBackend,
     MonteCarloRunner,
+    ProcessPoolBackend,
     RunResult,
+    SerialBackend,
     Simulator,
     TraceRecorder,
     epsilon_averaging_time,
     estimate_averaging_time,
+    shutdown_shared_backends,
     simulate,
 )
 from repro.algorithms import (
@@ -76,13 +81,18 @@ __all__ = [
     "vanilla_time_empirical",
     "vanilla_time_spectral",
     # engine
+    "AlgorithmFactory",
     "AveragingTimeEstimate",
+    "ExecutionBackend",
     "MonteCarloRunner",
+    "ProcessPoolBackend",
     "RunResult",
+    "SerialBackend",
     "Simulator",
     "TraceRecorder",
     "epsilon_averaging_time",
     "estimate_averaging_time",
+    "shutdown_shared_backends",
     "simulate",
     # algorithms
     "ConvexGossip",

@@ -1,17 +1,25 @@
 """Edge-clock processes: Poisson clocks (the paper's model) and test schedules."""
 
 from repro.clocks.events import EdgeTick
-from repro.clocks.poisson import PoissonEdgeClocks
+from repro.clocks.poisson import PoissonClockFactory, PoissonEdgeClocks
 from repro.clocks.schedule import RoundRobinSchedule, ScriptedSchedule
 from repro.clocks.counters import TickCounters
-from repro.clocks.unreliable import FailingEdgeClocks, LossyClocks
+from repro.clocks.unreliable import (
+    FailingEdgeClocks,
+    FailingPoissonClockFactory,
+    LossyClocks,
+    LossyPoissonClockFactory,
+)
 
 __all__ = [
     "EdgeTick",
+    "PoissonClockFactory",
     "PoissonEdgeClocks",
     "RoundRobinSchedule",
     "ScriptedSchedule",
     "TickCounters",
     "FailingEdgeClocks",
+    "FailingPoissonClockFactory",
     "LossyClocks",
+    "LossyPoissonClockFactory",
 ]

@@ -102,3 +102,31 @@ class PoissonEdgeClocks:
         if self._rates is None:
             return np.full(self._n_edges, horizon, dtype=np.float64)
         return self._rates * horizon
+
+
+class PoissonClockFactory:
+    """Picklable ``rng -> clock`` factory for :class:`PoissonEdgeClocks`.
+
+    Monte-Carlo fan-out across worker processes
+    (:mod:`repro.engine.backends`) pickles per-replicate specs, which a
+    lambda clock factory cannot survive; this object carries the clock
+    configuration (edge count and optional per-edge rates) and builds a
+    fresh process from each replicate's clock stream.
+    """
+
+    def __init__(self, n_edges: int, *, rates: "np.ndarray | None" = None) -> None:
+        self.n_edges = int(n_edges)
+        # Copy: the caller may reuse (and mutate) one rates buffer across
+        # factory constructions, and every replicate reads this array.
+        self.rates = (
+            None if rates is None else np.array(rates, dtype=np.float64)
+        )
+        # Validate the configuration eagerly (same checks as the clock).
+        PoissonEdgeClocks(self.n_edges, rates=self.rates, seed=0)
+
+    def __call__(self, rng: np.random.Generator) -> PoissonEdgeClocks:
+        return PoissonEdgeClocks(self.n_edges, rates=self.rates, seed=rng)
+
+    def __repr__(self) -> str:
+        suffix = "" if self.rates is None else ", rates=..."
+        return f"PoissonClockFactory({self.n_edges}{suffix})"

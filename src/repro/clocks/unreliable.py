@@ -13,15 +13,23 @@ Robustness experiments wrap the Poisson process with two failure models:
 
 Both wrap any inner clock process and preserve the batch protocol, so
 simulators are oblivious to the failure model.
+
+For Monte-Carlo fan-out across worker processes
+(:mod:`repro.engine.backends`), :class:`LossyPoissonClockFactory` and
+:class:`FailingPoissonClockFactory` are picklable ``rng -> clock``
+factories building each failure model over fresh rate-1 Poisson clocks —
+use these instead of lambdas when running with ``n_workers > 1``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.util.rng import as_generator
+from repro.clocks.poisson import PoissonEdgeClocks
+from repro.util.rng import as_generator, derive_child
 
 
 class LossyClocks:
@@ -50,12 +58,20 @@ class LossyClocks:
         return int(getattr(self._inner, "n_edges"))
 
     def next_batch(self, max_events: int) -> "tuple[np.ndarray, np.ndarray]":
-        """Surviving ticks from the inner process (possibly fewer)."""
-        times, edges = self._inner.next_batch(max_events)
-        if len(times) == 0:
-            return times, edges
-        keep = self._rng.random(len(times)) >= self._drop[edges]
-        return times[keep], edges[keep]
+        """Surviving ticks from the inner process (possibly fewer).
+
+        An unlucky small batch can have every tick dropped; returning it
+        empty would read as clock exhaustion to the simulator and end the
+        run early, so draw again until something survives or the inner
+        process itself runs dry.
+        """
+        while True:
+            times, edges = self._inner.next_batch(max_events)
+            if len(times) == 0:
+                return times, edges  # inner exhausted for real
+            keep = self._rng.random(len(times)) >= self._drop[edges]
+            if keep.any():
+                return times[keep], edges[keep]
 
 
 class FailingEdgeClocks:
@@ -69,6 +85,11 @@ class FailingEdgeClocks:
         Either a mapping ``edge_id -> absolute death time`` (scripted
         failures; unlisted edges never die) or a positive float ``rate``:
         every edge independently dies at an ``Exponential(rate)`` time.
+    seed:
+        Randomness for the exponential lifetimes.  Only meaningful with a
+        float rate; passing it alongside a scripted mapping raises
+        ``ValueError`` (the mapping consumes no randomness, so a seed
+        there is always a caller mistake).
     """
 
     def __init__(
@@ -89,6 +110,12 @@ class FailingEdgeClocks:
             rng = as_generator(seed)
             deaths = rng.exponential(1.0 / rate, size=n_edges)
         else:
+            if seed is not None:
+                raise ValueError(
+                    "seed is meaningless with scripted failure_times (a "
+                    "mapping draws no randomness); pass a float rate for "
+                    "random lifetimes or drop the seed"
+                )
             for edge_id, death in failure_times.items():
                 if not 0 <= int(edge_id) < n_edges:
                     raise ValueError(
@@ -99,6 +126,7 @@ class FailingEdgeClocks:
                 deaths[int(edge_id)] = float(death)
         self._inner = inner
         self._deaths = deaths
+        self._last_death = float(np.max(deaths))
 
     @property
     def n_edges(self) -> int:
@@ -111,9 +139,100 @@ class FailingEdgeClocks:
         return self._deaths.copy()
 
     def next_batch(self, max_events: int) -> "tuple[np.ndarray, np.ndarray]":
-        """Ticks of still-alive edges (dead edges' ticks are removed)."""
-        times, edges = self._inner.next_batch(max_events)
-        if len(times) == 0:
-            return times, edges
-        alive = times < self._deaths[edges]
-        return times[alive], edges[alive]
+        """Ticks of still-alive edges (dead edges' ticks are removed).
+
+        A batch whose ticks all landed on dead edges is retried (an empty
+        return reads as clock exhaustion to the simulator) — unless every
+        edge is already past its death time, in which case the process
+        really is exhausted and an empty batch is the honest answer.
+        """
+        while True:
+            times, edges = self._inner.next_batch(max_events)
+            if len(times) == 0:
+                return times, edges
+            alive = times < self._deaths[edges]
+            if alive.any():
+                return times[alive], edges[alive]
+            if times[0] >= self._last_death:
+                # No edge can ever tick again; report genuine exhaustion.
+                return times[:0], edges[:0]
+
+
+# ----------------------------------------------------------------------
+# picklable per-replicate factories (process-pool execution)
+# ----------------------------------------------------------------------
+
+
+def _sibling_stream(rng: np.random.Generator) -> np.random.Generator:
+    """An independent generator derived from ``rng`` without advancing it.
+
+    Deriving (not spawning) from the generator's seed sequence leaves
+    both the stream and the sequence's child counter untouched, so the
+    *inner* Poisson process below consumes exactly the same draws as an
+    unwrapped clock built from the same replicate stream.  That makes a
+    wrapped run a strict thinning of its unwrapped twin for the whole
+    run — the common-random-numbers pairing the experiments lean on —
+    while failure decisions stay independent.
+    """
+    return np.random.default_rng(
+        derive_child(rng.bit_generator.seed_seq, 0)
+    )
+
+
+@dataclass(frozen=True)
+class LossyPoissonClockFactory:
+    """Picklable ``rng -> clock`` factory: lossy rate-1 Poisson clocks.
+
+    The inner Poisson process consumes the replicate's clock stream
+    directly; drop decisions draw from a sibling stream (see
+    :func:`_sibling_stream`), so the surviving ticks are an exact subset
+    of the ticks an un-lossy clock would emit under the same seed.
+    """
+
+    n_edges: int
+    drop_probability: "float | tuple"
+
+    def __call__(self, rng: np.random.Generator) -> LossyClocks:
+        drop = self.drop_probability
+        if isinstance(drop, tuple):
+            drop = np.asarray(drop, dtype=np.float64)
+        return LossyClocks(
+            PoissonEdgeClocks(self.n_edges, seed=rng),
+            drop,
+            seed=_sibling_stream(rng),
+        )
+
+
+@dataclass(frozen=True)
+class FailingPoissonClockFactory:
+    """Picklable ``rng -> clock`` factory: dying rate-1 Poisson clocks.
+
+    ``failure_times`` follows :class:`FailingEdgeClocks`: a mapping of
+    scripted death instants (built seedless — scripted deaths draw no
+    randomness) or a float rate for exponential lifetimes.  Lifetimes
+    draw from a sibling stream so the inner tick sequence matches an
+    unwrapped clock under the same seed (common random numbers).  A
+    mapping is normalized to a sorted item tuple so the frozen dataclass
+    stays hashable and equality/pickling are canonical.
+    """
+
+    n_edges: int
+    failure_times: "Mapping[int, float] | tuple | float"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.failure_times, Mapping):
+            object.__setattr__(
+                self,
+                "failure_times",
+                tuple(sorted(self.failure_times.items())),
+            )
+
+    def __call__(self, rng: np.random.Generator) -> FailingEdgeClocks:
+        inner = PoissonEdgeClocks(self.n_edges, seed=rng)
+        if isinstance(self.failure_times, (int, float)) and not isinstance(
+            self.failure_times, bool
+        ):
+            return FailingEdgeClocks(
+                inner, self.failure_times, seed=_sibling_stream(rng)
+            )
+        return FailingEdgeClocks(inner, dict(self.failure_times))

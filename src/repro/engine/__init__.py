@@ -3,6 +3,17 @@
 from repro.engine.results import Crossing, RunResult
 from repro.engine.recorder import TraceRecorder
 from repro.engine.simulator import Simulator, simulate
+from repro.engine.backends import (
+    AlgorithmFactory,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    ReplicateSpec,
+    SerialBackend,
+    execute_replicate,
+    resolve_backend,
+    scoped_shared_backends,
+    shutdown_shared_backends,
+)
 from repro.engine.runner import MonteCarloRunner, ReplicateSummary
 from repro.engine.averaging_time import (
     AveragingTimeEstimate,
@@ -19,6 +30,15 @@ __all__ = [
     "TraceRecorder",
     "Simulator",
     "simulate",
+    "AlgorithmFactory",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "ReplicateSpec",
+    "SerialBackend",
+    "execute_replicate",
+    "resolve_backend",
+    "scoped_shared_backends",
+    "shutdown_shared_backends",
     "MonteCarloRunner",
     "ReplicateSummary",
     "AveragingTimeEstimate",

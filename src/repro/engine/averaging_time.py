@@ -34,6 +34,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.algorithms.base import GossipAlgorithm
+from repro.engine.backends import ExecutionBackend
 from repro.engine.results import RunResult
 from repro.engine.runner import MonteCarloRunner
 from repro.errors import SimulationError
@@ -131,13 +132,17 @@ def estimate_averaging_time(
     max_events: "int | None" = None,
     settle_factor: float = DEFAULT_SETTLE_FACTOR,
     clock_factory: "Callable[[np.random.Generator], object] | None" = None,
+    backend: "ExecutionBackend | str | None" = None,
+    n_workers: "int | None" = None,
 ) -> AveragingTimeEstimate:
     """Monte-Carlo estimate of the paper's ``T_av`` (see module docstring).
 
     ``max_time``/``max_events`` bound each replicate; at least one must be
     given (unbounded non-convergent runs would otherwise spin forever).
     ``clock_factory`` swaps in a non-standard clock model per replicate
-    (boosted rates, failure injection).
+    (boosted rates, failure injection).  ``backend``/``n_workers`` choose
+    how replicates execute (see :mod:`repro.engine.backends`); estimates
+    are bit-identical across backends for the same seed.
     """
     if not 0 < threshold < 1:
         raise SimulationError(f"threshold must be in (0, 1), got {threshold}")
@@ -157,6 +162,8 @@ def estimate_averaging_time(
         initial_values,
         seed=seed,
         clock_factory=clock_factory,
+        backend=backend,
+        n_workers=n_workers,
     )
     results = runner.run(
         n_replicates,
@@ -198,6 +205,8 @@ def epsilon_averaging_time(
     seed: "int | None" = None,
     max_time: "float | None" = None,
     max_events: "int | None" = None,
+    backend: "ExecutionBackend | str | None" = None,
+    n_workers: "int | None" = None,
 ) -> AveragingTimeEstimate:
     """Boyd-et-al-style ``epsilon``-averaging time.
 
@@ -218,4 +227,6 @@ def epsilon_averaging_time(
         quantile=1.0 - epsilon,
         max_time=max_time,
         max_events=max_events,
+        backend=backend,
+        n_workers=n_workers,
     )

@@ -1,0 +1,417 @@
+"""Pluggable execution backends for Monte-Carlo replication.
+
+The paper's quantities are quantiles over independent Poisson-clock
+replicates, so replicate fan-out is embarrassingly parallel: no replicate
+reads another's state, and every random draw is derived from a
+per-replicate :class:`numpy.random.SeedSequence`.  This module turns that
+observation into a seam the rest of the engine builds on:
+
+* :class:`ReplicateSpec` — one replicate's complete, picklable work order
+  (graph, algorithm factory, workload, derived seed sequence, run
+  kwargs);
+* :func:`execute_replicate` — the single function that turns a spec into
+  a :class:`~repro.engine.results.RunResult`, used identically by every
+  backend;
+* :class:`SerialBackend` — in-process execution, the default;
+* :class:`ProcessPoolBackend` — fan-out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+**Reproducibility guarantee.**  All randomness a replicate consumes is
+derived inside :func:`execute_replicate` from the spec's seed sequence
+(split into clock / workload / algorithm substreams), never from shared
+mutable state.  Results are therefore **bit-identical across backends and
+worker counts** for the same root seed: ``ProcessPoolBackend`` reorders
+only wall-clock execution, and :meth:`ExecutionBackend.execute` returns
+results in replicate order regardless of completion order.
+
+**Picklability.**  Process execution ships specs to workers with
+:mod:`pickle`.  Graphs, partitions, clock processes and the library's
+algorithms all pickle; the usual culprit is a lambda or closure used as
+``algorithm_factory`` or ``clock_factory``.  Use module-level callables,
+:func:`functools.partial`, or :class:`AlgorithmFactory` (and the clock
+factories in :mod:`repro.clocks`) instead.  ``SerialBackend`` imposes no
+such restriction.
+
+Backend selection: pass an :class:`ExecutionBackend`, the strings
+``"serial"``/``"process"``, or just ``n_workers`` to
+:func:`resolve_backend`; with neither, the ``REPRO_WORKERS`` environment
+variable (the CLI's ``--workers`` flag sets it) picks the worker count,
+defaulting to serial execution.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import GossipAlgorithm
+from repro.clocks.poisson import PoissonEdgeClocks
+from repro.engine.results import RunResult
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+from repro.util.rng import derive_child
+
+#: Environment variable consulted when no backend/worker count is given
+#: (the CLI's ``--workers`` flag sets it for a whole experiment run).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class ReplicateSpec:
+    """One replicate's complete work order (picklable).
+
+    Attributes
+    ----------
+    index:
+        Position in the replicate sequence; results are reassembled in
+        this order no matter where the spec executed.
+    graph:
+        The graph to simulate on.
+    algorithm_factory:
+        Zero-argument callable producing the replicate's algorithm.
+    initial_values:
+        Fixed vector, or callable ``rng -> vector`` drawing the workload
+        from the replicate's workload stream.
+    seed_sequence:
+        The replicate's private :class:`numpy.random.SeedSequence`; split
+        into clock / workload / algorithm substreams at execution time.
+    clock_factory:
+        Optional callable ``rng -> clock``; ``None`` means the standard
+        rate-1 Poisson model on the graph's edges.
+    run_kwargs:
+        Keyword arguments forwarded to :meth:`Simulator.run`.
+    """
+
+    index: int
+    graph: Graph
+    algorithm_factory: "Callable[[], GossipAlgorithm]"
+    initial_values: "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]"
+    seed_sequence: np.random.SeedSequence
+    clock_factory: "Callable[[np.random.Generator], object] | None" = None
+    run_kwargs: "Mapping[str, Any]" = field(default_factory=dict)
+
+
+def execute_replicate(spec: ReplicateSpec) -> RunResult:
+    """Run one replicate from its spec (the shared backend work function).
+
+    Derives three independent substreams from the spec's seed sequence —
+    clock, workload, algorithm — so the clock process, the workload
+    sampler and the algorithm's own randomness never share a generator
+    (they historically did, coupling streams that the analysis treats as
+    independent).  The children are constructed directly (the sequences
+    ``spawn(3)`` would yield) rather than spawned, because spawning
+    mutates the spec's child counter and re-executing the same spec —
+    e.g. comparing backends on one ``build_specs`` output — must stay
+    bit-identical.
+    """
+    clock_seq, workload_seq, algorithm_seq = (
+        derive_child(spec.seed_sequence, child) for child in range(3)
+    )
+    clock_rng = np.random.default_rng(clock_seq)
+    if callable(spec.initial_values):
+        workload_rng = np.random.default_rng(workload_seq)
+        values = spec.initial_values(workload_rng)
+    else:
+        values = spec.initial_values
+    if spec.clock_factory is not None:
+        clock = spec.clock_factory(clock_rng)
+    else:
+        clock = PoissonEdgeClocks(spec.graph.n_edges, seed=clock_rng)
+    simulator = Simulator(
+        spec.graph,
+        spec.algorithm_factory(),
+        values,
+        clock=clock,
+        seed=np.random.default_rng(algorithm_seq),
+    )
+    return simulator.run(**dict(spec.run_kwargs))  # type: ignore[arg-type]
+
+
+class ExecutionBackend(abc.ABC):
+    """How a batch of replicate specs gets executed.
+
+    Implementations must return results **in replicate order** (matching
+    ``spec.index``) and must not inject any randomness of their own —
+    both are what makes backends interchangeable without touching any
+    estimate.
+    """
+
+    #: Short machine name (CLI/report label).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
+        """Run every spec and return results in replicate order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute replicates one after another in the current process."""
+
+    name = "serial"
+
+    def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
+        return [execute_replicate(spec) for spec in specs]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan replicates out over a process pool.
+
+    Specs are pickled to workers and results reassembled in replicate
+    order, so output is bit-identical to :class:`SerialBackend` for the
+    same root seed (see the module docstring's reproducibility guarantee).
+
+    Each spec carries its own copy of the shared state (graph, factories,
+    run kwargs), so IPC cost grows as O(replicates x graph size).  That
+    is noise against multi-second replicates at the paper's scales; if a
+    future backend fans out orders of magnitude wider, ship the shared
+    state once per worker via the executor's ``initializer`` and keep
+    only ``(index, seed_sequence)`` per task.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes; defaults to the machine's CPU count.
+    mp_context:
+        Optional :mod:`multiprocessing` context (e.g.
+        ``multiprocessing.get_context("fork")``) forwarded to the
+        executor; ``None`` uses the platform default.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_workers: "int | None" = None,
+        *,
+        mp_context: "object | None" = None,
+    ) -> None:
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise SimulationError(
+                f"n_workers must be positive, got {n_workers}"
+            )
+        self.n_workers = int(n_workers)
+        self._mp_context = mp_context
+        self._pool: "ProcessPoolExecutor | None" = None
+
+    def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
+        if not specs:
+            return []
+        if self.n_workers == 1 or len(specs) == 1:
+            # A pool of one buys nothing; the serial path is identical
+            # by construction (same execute_replicate, same seeds).
+            return [execute_replicate(spec) for spec in specs]
+        for spec in specs:
+            if spec.run_kwargs.get("recorder") is not None:
+                # A recorder is caller-side mutable state; a worker's
+                # appends never cross back over the process boundary, so
+                # the caller would silently get an empty recorder.
+                raise SimulationError(
+                    "recorder cannot be used with process execution — "
+                    "worker-side samples never reach the caller's "
+                    "recorder object; run with the serial backend "
+                    "(n_workers=1) to trace replicates"
+                )
+        self._check_picklable(specs[0])
+        if self._pool is None:
+            # Lazily created and reused across execute() calls: an
+            # experiment makes dozens of estimator calls, and paying
+            # worker startup (expensive under spawn) per call would
+            # erase the fan-out's gain.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=self._mp_context,  # type: ignore[arg-type]
+            )
+        try:
+            return list(self._pool.map(execute_replicate, specs))
+        except BrokenProcessPool as exc:
+            self.shutdown()
+            raise SimulationError(
+                f"process pool died executing replicates ({exc}); a worker "
+                "was killed (OOM?) or crashed during unpickling"
+            ) from exc
+
+    def shutdown(self) -> None:
+        """Release the worker pool (a later execute() recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __del__(self) -> None:
+        # An abandoned backend's executor would otherwise linger until
+        # interpreter teardown, where its atexit hook can hit
+        # already-closed pipes and print ignored tracebacks.
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    @staticmethod
+    def _check_picklable(spec: ReplicateSpec) -> None:
+        """Fail fast with guidance instead of a deep executor traceback."""
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:
+            raise SimulationError(
+                "replicate spec cannot be pickled for process execution "
+                f"({exc}); use module-level callables, functools.partial, "
+                "or repro.engine.backends.AlgorithmFactory instead of "
+                "lambdas/closures, or fall back to the serial backend"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(n_workers={self.n_workers})"
+
+
+class AlgorithmFactory:
+    """A picklable zero-argument algorithm factory.
+
+    Wraps an importable callable (usually an algorithm class) plus its
+    arguments, so experiment specs can fan out to worker processes where
+    a lambda or closure could not.
+
+    >>> from repro.algorithms.vanilla import VanillaGossip
+    >>> factory = AlgorithmFactory(VanillaGossip)
+    >>> factory().name
+    'vanilla'
+    """
+
+    def __init__(self, target: "Callable[..., GossipAlgorithm]", /, *args: Any, **kwargs: Any) -> None:
+        if not callable(target):
+            raise SimulationError(
+                f"AlgorithmFactory target must be callable, got {target!r}"
+            )
+        self.target = target
+        self.args = args
+        self.kwargs = kwargs
+
+    def __call__(self) -> GossipAlgorithm:
+        return self.target(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:
+        parts = [getattr(self.target, "__name__", repr(self.target))]
+        parts += [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in self.kwargs.items()]
+        return f"AlgorithmFactory({', '.join(parts)})"
+
+
+def default_n_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (1, i.e. serial, when unset)."""
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is None:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise SimulationError(
+            f"{WORKERS_ENV_VAR} must be positive, got {workers}"
+        )
+    return workers
+
+
+#: Resolved process backends, one per worker count, so every estimator
+#: call in an experiment run shares one warm worker pool instead of
+#: paying pool startup per call.  Lives for the process lifetime; build
+#: a ProcessPoolBackend directly for a private pool.
+_SHARED_PROCESS_BACKENDS: "dict[int, ProcessPoolBackend]" = {}
+
+
+def shared_process_backend(n_workers: "int | None" = None) -> ProcessPoolBackend:
+    """The process-wide backend (and warm pool) for ``n_workers``."""
+    workers = n_workers if n_workers is not None else os.cpu_count() or 1
+    backend = _SHARED_PROCESS_BACKENDS.get(workers)
+    if backend is None:
+        backend = ProcessPoolBackend(workers)
+        _SHARED_PROCESS_BACKENDS[workers] = backend
+    return backend
+
+
+def shutdown_shared_backends(only: "set[int] | None" = None) -> None:
+    """Release shared pools' worker processes.
+
+    Long-lived hosts (the CLI when called programmatically, notebooks)
+    call this after a batch of parallel work; later resolutions
+    transparently build fresh pools.  ``only`` restricts the teardown to
+    specific worker counts — used to release just the pools a scoped
+    piece of work created while leaving the host's own pools warm.
+    """
+    keys = list(_SHARED_PROCESS_BACKENDS) if only is None else [
+        key for key in only if key in _SHARED_PROCESS_BACKENDS
+    ]
+    for key in keys:
+        _SHARED_PROCESS_BACKENDS.pop(key).shutdown()
+
+
+@contextlib.contextmanager
+def scoped_shared_backends():
+    """Release, on exit, the shared pools created inside the block.
+
+    Pools the host already had warm on entry are left untouched — this
+    is the scoped-cleanup companion to :func:`shared_process_backend`
+    for embedders (the CLI uses it around a whole experiment run).
+    """
+    before = set(_SHARED_PROCESS_BACKENDS)
+    try:
+        yield
+    finally:
+        shutdown_shared_backends(
+            only=set(_SHARED_PROCESS_BACKENDS) - before
+        )
+
+
+def resolve_backend(
+    backend: "ExecutionBackend | str | None" = None,
+    *,
+    n_workers: "int | None" = None,
+) -> ExecutionBackend:
+    """Coerce a backend choice into an :class:`ExecutionBackend`.
+
+    Accepts an existing backend instance (returned unchanged), the names
+    ``"serial"``/``"process"``, or ``None`` — in which case ``n_workers``
+    (falling back to the ``REPRO_WORKERS`` environment variable, then 1)
+    selects serial execution for one worker and a process pool otherwise.
+
+    Name- and count-resolved process backends are shared per worker
+    count (:func:`shared_process_backend`), so back-to-back estimator
+    calls reuse one warm pool; pass a :class:`ProcessPoolBackend`
+    instance instead when a private pool is wanted.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        if backend == "serial":
+            return SerialBackend()
+        if backend == "process":
+            return shared_process_backend(n_workers)
+        raise SimulationError(
+            f"unknown backend {backend!r}; expected 'serial' or 'process'"
+        )
+    if backend is not None:
+        raise SimulationError(
+            f"backend must be an ExecutionBackend, str or None, "
+            f"got {type(backend).__name__}"
+        )
+    if n_workers is None:
+        n_workers = default_n_workers()
+    if n_workers < 1:
+        raise SimulationError(f"n_workers must be positive, got {n_workers}")
+    if n_workers == 1:
+        return SerialBackend()
+    return shared_process_backend(n_workers)

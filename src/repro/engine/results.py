@@ -115,3 +115,39 @@ class RunResult:
             "stopped_by": self.stopped_by,
             "crossings": {str(k): v.to_dict() for k, v in self.crossings.items()},
         }
+
+
+def results_identical(first: RunResult, second: RunResult) -> bool:
+    """Field-by-field bit-identity of two results.
+
+    This is the execution backends' reproducibility contract (same root
+    seed => identical results regardless of backend or worker count) in
+    one place, shared by the determinism tests and benchmarks.  Fields
+    are enumerated from the dataclass itself, so a field added to
+    :class:`RunResult` is compared automatically.
+    """
+    import dataclasses
+    import math
+
+    for field in dataclasses.fields(RunResult):
+        a = getattr(first, field.name)
+        b = getattr(second, field.name)
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            # equal_nan: diverged runs legitimately carry NaN, and two
+            # byte-identical NaN results must still compare identical.
+            if (a is None) != (b is None):
+                return False
+            if a is not None and not np.array_equal(a, b, equal_nan=True):
+                return False
+        elif field.name == "crossings":
+            if set(a) != set(b):
+                return False
+            if any(a[k].to_dict() != b[k].to_dict() for k in a):
+                return False
+        elif a != b:
+            if not (
+                isinstance(a, float) and isinstance(b, float)
+                and math.isnan(a) and math.isnan(b)
+            ):
+                return False
+    return True

@@ -3,8 +3,12 @@
 The paper's quantities are probabilistic (``T_av`` is a quantile over the
 randomness of the Poisson clocks), so every measurement replays the same
 configuration under independent seeds.  :class:`MonteCarloRunner` owns the
-seed bookkeeping and collects per-replicate :class:`RunResult` objects plus
-a compact :class:`ReplicateSummary`.
+seed bookkeeping — replicate ``i`` gets the ``i``-th child of the root
+:class:`~numpy.random.SeedSequence`, split into independent clock /
+workload / algorithm substreams — and delegates execution to a pluggable
+:class:`~repro.engine.backends.ExecutionBackend` (serial by default; pass
+``n_workers > 1`` or ``backend="process"`` to fan replicates out over a
+process pool with bit-identical results).
 """
 
 from __future__ import annotations
@@ -15,11 +19,21 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.algorithms.base import GossipAlgorithm
+from repro.engine.backends import (
+    ExecutionBackend,
+    ReplicateSpec,
+    resolve_backend,
+)
 from repro.engine.results import RunResult
-from repro.engine.simulator import Simulator
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
-from repro.util.rng import spawn_generators
+from repro.util.rng import derive_child
+
+#: Spawn-key namespace for deriving replicates from a caller-supplied
+#: SeedSequence.  A caller's own spawns from the same root get keys
+#: (0,), (1,), ... — deriving replicates under this far-away key keeps
+#: runner streams disjoint from any stream the caller already drew.
+_REPLICATE_SPAWN_NAMESPACE = 0x52455052  # "REPR"
 
 
 @dataclass
@@ -67,16 +81,28 @@ class MonteCarloRunner:
     algorithm_factory:
         Zero-argument callable producing a fresh (or resettable) algorithm
         per replicate.  Pass ``lambda: algo`` to reuse one instance —
-        algorithms are required to fully reset in ``setup``.
+        algorithms are required to fully reset in ``setup``.  For process
+        execution the factory must be picklable (use a class,
+        ``functools.partial`` or
+        :class:`~repro.engine.backends.AlgorithmFactory`).
     initial_values:
         Either a fixed vector used by every replicate, or a callable
         ``rng -> vector`` sampling a workload per replicate.
     seed:
-        Root seed; replicate ``i`` derives stream ``i`` deterministically.
+        Root seed; replicate ``i`` derives stream ``i`` deterministically,
+        independent of the backend and worker count.
     clock_factory:
         Optional callable ``rng -> clock process`` building each
         replicate's clock (boosted rates, failure injection...).  Default
         is the standard rate-1 Poisson model.
+    backend:
+        Execution backend: an
+        :class:`~repro.engine.backends.ExecutionBackend`, ``"serial"``,
+        ``"process"``, or ``None`` to choose from ``n_workers`` (falling
+        back to the ``REPRO_WORKERS`` environment variable, then serial).
+    n_workers:
+        Worker-process count used when ``backend`` is ``None`` or
+        ``"process"``; 1 means serial.
     """
 
     def __init__(
@@ -85,44 +111,64 @@ class MonteCarloRunner:
         algorithm_factory: "Callable[[], GossipAlgorithm]",
         initial_values: "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]",
         *,
-        seed: "int | None" = None,
+        seed: "int | np.random.SeedSequence | None" = None,
         clock_factory: "Callable[[np.random.Generator], object] | None" = None,
+        backend: "ExecutionBackend | str | None" = None,
+        n_workers: "int | None" = None,
     ) -> None:
         self.graph = graph
         self.algorithm_factory = algorithm_factory
         self.initial_values = initial_values
         self.seed = seed
         self.clock_factory = clock_factory
+        self.backend = resolve_backend(backend, n_workers=n_workers)
 
-    def run(self, n_replicates: int, **run_kwargs: object) -> list[RunResult]:
-        """Execute ``n_replicates`` independent runs; kwargs go to ``run``."""
+    def build_specs(
+        self, n_replicates: int, **run_kwargs: object
+    ) -> "list[ReplicateSpec]":
+        """Derive the per-replicate work orders (seed bookkeeping lives here).
+
+        Replicate ``i``'s randomness comes from the ``i``-th spawn of the
+        root seed sequence, so the stream assignment never depends on the
+        backend, the worker count, or how many replicates run.
+        """
         if n_replicates < 1:
             raise SimulationError(
                 f"n_replicates must be positive, got {n_replicates}"
             )
-        # Two independent streams per replicate: clocks and workload.
-        streams = spawn_generators(self.seed, 2 * n_replicates)
-        results: list[RunResult] = []
-        for index in range(n_replicates):
-            clock_rng = streams[2 * index]
-            workload_rng = streams[2 * index + 1]
-            if callable(self.initial_values):
-                values = self.initial_values(workload_rng)
-            else:
-                values = self.initial_values
-            clock = (
-                self.clock_factory(clock_rng)
-                if self.clock_factory is not None
-                else None
+        if isinstance(self.seed, np.random.SeedSequence):
+            # Derive (not spawn) so the caller's child counter is never
+            # advanced — a second run() must reuse identical streams.
+            root = derive_child(self.seed, _REPLICATE_SPAWN_NAMESPACE)
+        else:
+            # Same namespace for int/None seeds: without it, replicate
+            # streams would collide with a caller's own
+            # spawn_generators(seed, k) children from the same seed.
+            root = np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(_REPLICATE_SPAWN_NAMESPACE,)
             )
-            simulator = Simulator(
-                self.graph,
-                self.algorithm_factory(),
-                values,
-                clock=clock,
-                seed=clock_rng,
+        return [
+            ReplicateSpec(
+                index=index,
+                graph=self.graph,
+                algorithm_factory=self.algorithm_factory,
+                initial_values=self.initial_values,
+                seed_sequence=child,
+                clock_factory=self.clock_factory,
+                run_kwargs=dict(run_kwargs),
             )
-            results.append(simulator.run(**run_kwargs))  # type: ignore[arg-type]
+            for index, child in enumerate(root.spawn(n_replicates))
+        ]
+
+    def run(self, n_replicates: int, **run_kwargs: object) -> list[RunResult]:
+        """Execute ``n_replicates`` independent runs; kwargs go to ``run``."""
+        specs = self.build_specs(n_replicates, **run_kwargs)
+        results = self.backend.execute(specs)
+        if len(results) != len(specs):
+            raise SimulationError(
+                f"backend {self.backend.name!r} returned {len(results)} "
+                f"results for {len(specs)} replicates"
+            )
         return results
 
     def summary(self, n_replicates: int, **run_kwargs: object) -> ReplicateSummary:

@@ -61,6 +61,10 @@ class Simulator:
         defaults to rate-1 Poisson clocks per edge seeded from ``seed``.
     seed:
         Seed for the default clock and the algorithm's random stream.
+        (When independence between the two matters, build the clock
+        explicitly from its own stream — :class:`MonteCarloRunner` does
+        this, giving every replicate separate clock / workload /
+        algorithm substreams.)
     """
 
     def __init__(
@@ -95,9 +99,18 @@ class Simulator:
         self.clock = clock if clock is not None else PoissonEdgeClocks(
             graph.n_edges, seed=rng
         )
-        if getattr(self.clock, "n_edges") != graph.n_edges:
+        clock_edges = getattr(self.clock, "n_edges", None)
+        if clock_edges is None or not callable(
+            getattr(self.clock, "next_batch", None)
+        ):
             raise SimulationError(
-                f"clock models {getattr(self.clock, 'n_edges')} edges but the "
+                f"clock object {type(self.clock).__name__!r} does not "
+                "implement the batch protocol (n_edges attribute + "
+                "next_batch method)"
+            )
+        if clock_edges != graph.n_edges:
+            raise SimulationError(
+                f"clock models {clock_edges} edges but the "
                 f"graph has {graph.n_edges}"
             )
         self.batch_size = int(batch_size)
@@ -210,8 +223,10 @@ class Simulator:
         now = 0.0
         variance = variance_0
         stopped_by = "max_events"
+        last_recorded_event = -1
         if recorder is not None:
             recorder.record(0.0, variance_0, x)
+            last_recorded_event = 0
 
         running = True
         while running:
@@ -276,6 +291,7 @@ class Simulator:
                         first_below[i] = t
                 if n_events == next_sample:
                     recorder.record(t, variance, x)
+                    last_recorded_event = n_events
                     next_sample += sample_every
                 if target_abs is not None and variance <= target_abs:
                     stopped_by = "target_ratio"
@@ -294,7 +310,10 @@ class Simulator:
 
         final = np.asarray(x, dtype=np.float64)
         variance_final = float(np.var(final))
-        if recorder is not None:
+        if recorder is not None and last_recorded_event != n_events:
+            # The final event may coincide with a periodic sample (or the
+            # run may have processed no events at all); recording again
+            # would duplicate the trace endpoint.
             recorder.record(now, variance_final, x)
         for record, below, above in zip(tracked, first_below, last_above):
             record.first_below = below

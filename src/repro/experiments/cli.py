@@ -9,13 +9,26 @@ Run one experiment at the default scale and print its report::
 Run everything at smoke scale, saving artifacts::
 
     python -m repro.experiments.cli run all --scale smoke --out results/
+
+Fan Monte-Carlo replicates out over 4 worker processes (results are
+bit-identical to serial for the same seed — see
+:mod:`repro.engine.backends`)::
+
+    python -m repro.experiments.cli run E3 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.engine.backends import (
+    WORKERS_ENV_VAR,
+    default_n_workers,
+    scoped_shared_backends,
+)
+from repro.errors import SimulationError
 from repro.experiments.harness import SCALES
 from repro.experiments.reporting import render_summary, save_report
 from repro.experiments.specs import EXPERIMENTS, run_experiment
@@ -37,6 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", choices=SCALES, default=None)
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--out", default=None, help="directory for artifacts")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for Monte-Carlo replicates (default: "
+        f"${WORKERS_ENV_VAR} or serial); results are identical to serial "
+        "for the same seed",
+    )
 
     subparsers.add_parser("list", help="list available experiments")
     return parser
@@ -52,21 +74,53 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"{experiment_id}: {summary}")
         return 0
 
+    if args.workers is not None and args.workers < 1:
+        print(f"--workers must be positive, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.workers is None:
+        # Surface a bad REPRO_WORKERS value before any report output
+        # instead of as a traceback inside the first estimator call.
+        try:
+            default_n_workers()
+        except SimulationError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
     if args.experiment.lower() == "all":
         ids = list(EXPERIMENTS)
     else:
         ids = [args.experiment]
-    reports = []
-    for experiment_id in ids:
-        report = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
-        reports.append(report)
-        print(report.render())
-        print()
-        if args.out:
-            text_path, json_path = save_report(report, args.out)
-            print(f"saved {text_path} and {json_path}")
-    print(render_summary(reports))
-    return 0 if all(r.all_checks_passed for r in reports) else 1
+    # Experiments read the worker count from the environment (the same
+    # global mechanism as the REPRO_SCALE fallback), so one flag
+    # parallelizes every estimator call; restore the variable afterwards
+    # so programmatic main() calls leave no trace.
+    saved_workers = os.environ.get(WORKERS_ENV_VAR)
+    if args.workers is not None:
+        os.environ[WORKERS_ENV_VAR] = str(args.workers)
+    try:
+        # Leave no trace in long-lived hosts: pools this run creates are
+        # released on exit, pools the host already had warm are kept.
+        with scoped_shared_backends():
+            reports = []
+            for experiment_id in ids:
+                report = run_experiment(
+                    experiment_id, scale=args.scale, seed=args.seed
+                )
+                reports.append(report)
+                print(report.render())
+                print()
+                if args.out:
+                    text_path, json_path = save_report(report, args.out)
+                    print(f"saved {text_path} and {json_path}")
+            print(render_summary(reports))
+            return 0 if all(r.all_checks_passed for r in reports) else 1
+    finally:
+        if args.workers is not None:
+            if saved_workers is None:
+                os.environ.pop(WORKERS_ENV_VAR, None)
+            else:
+                os.environ[WORKERS_ENV_VAR] = saved_workers
 
 
 if __name__ == "__main__":

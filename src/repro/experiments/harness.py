@@ -128,8 +128,15 @@ def measure_averaging_time(
     seed: int,
     max_time: float,
     max_events: "int | None" = None,
+    n_workers: "int | None" = None,
 ) -> AveragingTimeEstimate:
-    """Thin wrapper over the estimator with experiment-friendly defaults."""
+    """Thin wrapper over the estimator with experiment-friendly defaults.
+
+    ``n_workers`` defaults to the ``REPRO_WORKERS`` environment variable
+    (which the CLI's ``--workers`` flag sets), so a whole experiment run
+    fans its replicates out without touching every call site; estimates
+    are bit-identical to serial execution for the same seed.
+    """
     return estimate_averaging_time(
         graph,
         algorithm_factory,
@@ -138,6 +145,7 @@ def measure_averaging_time(
         seed=seed,
         max_time=max_time,
         max_events=max_events,
+        n_workers=n_workers,
     )
 
 

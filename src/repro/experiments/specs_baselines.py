@@ -14,6 +14,7 @@ from repro.algorithms.two_timescale import TwoTimescaleGossip
 from repro.algorithms.vanilla import VanillaGossip
 from repro.analysis.bounds import theorem1_lower_bound, theorem2_upper_bound
 from repro.core.epochs import epoch_length_ticks
+from repro.engine.backends import AlgorithmFactory
 from repro.experiments.harness import (
     ExperimentReport,
     measure_averaging_time,
@@ -78,25 +79,26 @@ def e8_baselines(scale: "str | None" = None, seed: int = 31) -> ExperimentReport
 
     factories = [
         ("vanilla", "convex C", VanillaGossip),
-        ("lazy convex (a=0.75)", "convex C", lambda: ConvexGossip(0.75)),
+        ("lazy convex (a=0.75)", "convex C", AlgorithmFactory(ConvexGossip, 0.75)),
         ("random convex", "convex C", RandomConvexGossip),
         (
             "two-timescale (const)",
             "convex C",
-            lambda: TwoTimescaleGossip(pair.partition, slow_step=0.1),
+            AlgorithmFactory(TwoTimescaleGossip, pair.partition, slow_step=0.1),
         ),
         (
             "two-timescale (harmonic)",
             "convex C",
-            lambda: TwoTimescaleGossip(
-                pair.partition, slow_step=0.5, schedule="harmonic", tau=20.0
+            AlgorithmFactory(
+                TwoTimescaleGossip,
+                pair.partition, slow_step=0.5, schedule="harmonic", tau=20.0,
             ),
         ),
         ("push-sum", "non-C, convex mass", PushSumGossip),
         (
             "async 2nd-order (b=1.5)",
             "non-C, momentum",
-            lambda: AsyncSecondOrderGossip(1.5),
+            AlgorithmFactory(AsyncSecondOrderGossip, 1.5),
         ),
     ]
     results: dict[str, float] = {}

@@ -17,11 +17,16 @@ from repro.algorithms.geographic import GeographicGossip
 from repro.algorithms.nonconvex import NonConvexSparseCutGossip
 from repro.algorithms.resilient import ResilientSparseCutGossip
 from repro.algorithms.vanilla import VanillaGossip
-from repro.clocks.poisson import PoissonEdgeClocks
-from repro.clocks.unreliable import FailingEdgeClocks, LossyClocks
+from repro.clocks.poisson import PoissonClockFactory
+from repro.clocks.unreliable import (
+    FailingPoissonClockFactory,
+    LossyPoissonClockFactory,
+)
 from repro.core.epochs import epoch_length_ticks
 from repro.core.multi_cut import MultiClusterAveraging
 from repro.engine.averaging_time import estimate_averaging_time
+from repro.engine.backends import AlgorithmFactory
+from repro.errors import ExperimentError
 from repro.engine.simulator import simulate
 from repro.experiments.harness import (
     ExperimentReport,
@@ -254,11 +259,11 @@ def e13_failure_injection(scale: "str | None" = None, seed: int = 53) -> Experim
         ),
     )
 
-    def failing_clock(rng):
-        return FailingEdgeClocks(
-            PoissonEdgeClocks(pair.graph.n_edges, seed=rng),
-            {designated: death_time},
-        )
+    # Picklable factories (not closures) so replicates can fan out to
+    # worker processes.
+    failing_clock = FailingPoissonClockFactory(
+        pair.graph.n_edges, {designated: death_time}
+    )
 
     budget = 3.0 * convex_budget(pair)
     rows = [
@@ -269,25 +274,22 @@ def e13_failure_injection(scale: "str | None" = None, seed: int = 53) -> Experim
         ),
         (
             "algorithm A (plain)",
-            lambda: NonConvexSparseCutGossip(
-                pair.partition, epoch_length=epoch
+            AlgorithmFactory(
+                NonConvexSparseCutGossip, pair.partition, epoch_length=epoch
             ),
             failing_clock,
         ),
         (
             "algorithm A (resilient failover)",
-            lambda: ResilientSparseCutGossip(
-                pair.partition, epoch_length=epoch
+            AlgorithmFactory(
+                ResilientSparseCutGossip, pair.partition, epoch_length=epoch
             ),
             failing_clock,
         ),
         (
             "vanilla (30% message loss, no deaths)",
             VanillaGossip,
-            lambda rng: LossyClocks(
-                PoissonEdgeClocks(pair.graph.n_edges, seed=rng), 0.3,
-                seed=rng,
-            ),
+            LossyPoissonClockFactory(pair.graph.n_edges, 0.3),
         ),
     ]
     table = Table(
@@ -295,12 +297,16 @@ def e13_failure_injection(scale: "str | None" = None, seed: int = 53) -> Experim
         title=f"E13: dumbbell-with-3-bridges (n = {2 * half}), "
         f"e_c dies at t = {death_time:g}",
     )
+    loss_label = "vanilla (30% message loss, no deaths)"
     measured: dict[str, float] = {}
     censored: dict[str, bool] = {}
-    for label, factory, clock_factory in rows:
+    loss_seed: "int | None" = None
+    for index, (label, factory, clock_factory) in enumerate(rows):
+        if label == loss_label:
+            loss_seed = seed + index
         estimate = estimate_averaging_time(
             pair.graph, factory, x0,
-            n_replicates=replicates, seed=seed + len(measured),
+            n_replicates=replicates, seed=seed + index,
             max_time=budget, max_events=MAX_EVENTS,
             clock_factory=clock_factory,
         )
@@ -311,14 +317,20 @@ def e13_failure_injection(scale: "str | None" = None, seed: int = 53) -> Experim
         table.add_row([label, cell, outcome])
     report.tables.append(table)
 
-    # Baseline without failures, for the slowdown findings.
+    # Baseline without failures, for the slowdown findings.  Reuses the
+    # lossy row's root seed so both estimates see the *same* underlying
+    # Poisson tick sequence (common random numbers — the lossy factory
+    # draws its drop decisions from a sibling stream, so its ticks are an
+    # exact thinning of this baseline's): the slowdown ratio measures the
+    # loss effect rather than replicate noise.
+    if loss_seed is None:  # label drift would silently unpair the seeds
+        raise ExperimentError(f"E13 rows is missing the {loss_label!r} row")
     healthy = estimate_averaging_time(
         pair.graph, VanillaGossip, x0,
-        n_replicates=replicates, seed=seed + 50,
+        n_replicates=replicates, seed=loss_seed,
         max_time=budget, max_events=MAX_EVENTS,
     )
     report.findings["vanilla_healthy_tav"] = healthy.estimate
-    loss_label = "vanilla (30% message loss, no deaths)"
     report.findings["lossy_slowdown"] = (
         measured[loss_label] / healthy.estimate
     )
@@ -387,12 +399,9 @@ def e14_rate_boost(scale: "str | None" = None, seed: int = 59) -> ExperimentRepo
     )
     boosted_times = []
     for index, boost in enumerate(boosts):
-        def clock_factory(rng, boost=boost):
-            rates = np.ones(pair.graph.n_edges)
-            rates[cut_edge] = float(boost)
-            return PoissonEdgeClocks(
-                pair.graph.n_edges, rates=rates, seed=rng
-            )
+        rates = np.ones(pair.graph.n_edges)
+        rates[cut_edge] = float(boost)
+        clock_factory = PoissonClockFactory(pair.graph.n_edges, rates=rates)
 
         estimate = estimate_averaging_time(
             pair.graph, VanillaGossip, x0,

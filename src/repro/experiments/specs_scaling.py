@@ -14,6 +14,7 @@ from repro.algorithms.nonconvex import NonConvexSparseCutGossip
 from repro.algorithms.vanilla import VanillaGossip
 from repro.analysis.bounds import theorem1_lower_bound, theorem2_upper_bound
 from repro.core.epochs import epoch_length_ticks
+from repro.engine.backends import AlgorithmFactory
 from repro.experiments.harness import (
     ExperimentReport,
     measure_averaging_time,
@@ -52,12 +53,11 @@ def nonconvex_budget(pair: BridgedPair, *, constant: float = 3.0) -> float:
 
 def _algorithm_a_factory(pair: BridgedPair, *, constant: float = 3.0, gain="exact"):
     epoch = epoch_length_ticks(pair.partition, constant=constant)
-
-    def factory() -> NonConvexSparseCutGossip:
-        return NonConvexSparseCutGossip(
-            pair.partition, epoch_length=epoch, gain=gain
-        )
-
+    # A picklable factory (not a closure) so experiments can fan
+    # replicates out to worker processes.
+    factory = AlgorithmFactory(
+        NonConvexSparseCutGossip, pair.partition, epoch_length=epoch, gain=gain
+    )
     return factory, epoch
 
 
@@ -103,7 +103,7 @@ def e1_convex_lower_bound(scale: "str | None" = None, seed: int = 7) -> Experime
             max_time=budget, max_events=MAX_EVENTS,
         )
         est_lazy = measure_averaging_time(
-            pair.graph, lambda: ConvexGossip(0.75), x0,
+            pair.graph, AlgorithmFactory(ConvexGossip, 0.75), x0,
             n_replicates=replicates, seed=seed + 200 + index,
             max_time=budget, max_events=MAX_EVENTS,
         )

@@ -91,6 +91,38 @@ def bimodal_noise(
     return values - values.mean()
 
 
+class FixedWorkload:
+    """Picklable sampler returning the same vector for every replicate."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = np.asarray(values, dtype=np.float64)
+
+    def __call__(self, rng: np.random.Generator) -> np.ndarray:
+        return self.values
+
+
+class GaussianWorkload:
+    """Picklable sampler: i.i.d. zero-mean normals per replicate."""
+
+    def __init__(self, n: int, *, scale: float = 1.0) -> None:
+        self.n = int(n)
+        self.scale = float(scale)
+
+    def __call__(self, rng: np.random.Generator) -> np.ndarray:
+        return gaussian(self.n, rng=rng, scale=self.scale)
+
+
+class BimodalNoiseWorkload:
+    """Picklable sampler: cut-aligned signal plus fresh noise per replicate."""
+
+    def __init__(self, partition: Partition, *, noise: float = 0.1) -> None:
+        self.partition = partition
+        self.noise = float(noise)
+
+    def __call__(self, rng: np.random.Generator) -> np.ndarray:
+        return bimodal_noise(self.partition, rng=rng, noise=self.noise)
+
+
 def make_workload(
     name: str,
     *,
@@ -101,7 +133,9 @@ def make_workload(
 
     Deterministic workloads ignore the rng; partition-dependent ones
     require ``partition``.  Names: ``cut_aligned``, ``gaussian``,
-    ``spike``, ``linear_gradient``, ``bimodal_noise``.
+    ``spike``, ``linear_gradient``, ``bimodal_noise``.  Samplers are
+    picklable objects, so they work under process-pool replication
+    (:mod:`repro.engine.backends`) as well as serially.
     """
     n = graph.n_vertices
 
@@ -111,19 +145,15 @@ def make_workload(
         return partition
 
     if name == "cut_aligned":
-        fixed = cut_aligned(need_partition())
-        return lambda rng: fixed
+        return FixedWorkload(cut_aligned(need_partition()))
     if name == "gaussian":
-        return lambda rng: gaussian(n, rng=rng)
+        return GaussianWorkload(n)
     if name == "spike":
-        fixed_spike = spike(n)
-        return lambda rng: fixed_spike
+        return FixedWorkload(spike(n))
     if name == "linear_gradient":
-        fixed_gradient = linear_gradient(n)
-        return lambda rng: fixed_gradient
+        return FixedWorkload(linear_gradient(n))
     if name == "bimodal_noise":
-        part = need_partition()
-        return lambda rng: bimodal_noise(part, rng=rng)
+        return BimodalNoiseWorkload(need_partition())
     raise ExperimentError(
         f"unknown workload {name!r}; expected cut_aligned/gaussian/spike/"
         f"linear_gradient/bimodal_noise"

@@ -31,6 +31,23 @@ def as_generator(seed: "int | np.random.Generator | np.random.SeedSequence | Non
     raise TypeError(f"cannot build a Generator from {type(seed).__name__}")
 
 
+def derive_child(
+    sequence: np.random.SeedSequence, key: int
+) -> np.random.SeedSequence:
+    """The child ``sequence.spawn()`` would yield at ``key`` — without
+    mutating ``sequence``'s child counter.
+
+    Reproducibility-critical: the Monte-Carlo runner's replicate roots
+    and the execution backends' per-replicate substreams both derive
+    through this one function, so the scheme cannot drift between them.
+    """
+    return np.random.SeedSequence(
+        entropy=sequence.entropy,
+        spawn_key=(*sequence.spawn_key, key),
+        pool_size=sequence.pool_size,
+    )
+
+
 def spawn_generators(seed: "int | np.random.SeedSequence | None", count: int) -> list[np.random.Generator]:
     """Create ``count`` statistically independent generators from one seed.
 

@@ -30,6 +30,37 @@ def test_cli_runs_single_experiment(tmp_path, capsys):
     assert (tmp_path / "e6.json").exists()
 
 
+def test_cli_workers_flag_sets_env_and_reproduces_serial(
+    monkeypatch, capsys
+):
+    """--workers must parallelize via REPRO_WORKERS without changing
+    any measured number (the backend reproducibility guarantee)."""
+    import os
+
+    from repro.engine.backends import WORKERS_ENV_VAR
+
+    # setenv (not delenv) so monkeypatch restores the pre-test state even
+    # though main() writes to os.environ itself; "1" means serial.
+    monkeypatch.setenv(WORKERS_ENV_VAR, "1")
+
+    def run(argv):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    from repro.engine.backends import _SHARED_PROCESS_BACKENDS
+
+    pools_before = set(_SHARED_PROCESS_BACKENDS)
+    serial_out = run(["run", "E3", "--scale", "smoke"])
+    parallel_out = run(["run", "E3", "--scale", "smoke", "--workers", "2"])
+    # main() restores the pre-run value and releases the worker pools it
+    # created (and only those), so programmatic calls leave no trace.
+    assert os.environ.get(WORKERS_ENV_VAR) == "1"
+    assert set(_SHARED_PROCESS_BACKENDS) == pools_before
+    assert serial_out == parallel_out
+
+    assert main(["run", "E3", "--workers", "0"]) == 2
+
+
 def test_cli_reports_failure_exit_code(monkeypatch, capsys):
     """A failing check must surface as a non-zero exit code."""
     from repro.experiments import specs

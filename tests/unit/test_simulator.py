@@ -103,6 +103,20 @@ class TestDeterministicClocks:
             Simulator(k6, VanillaGossip(), np.zeros(6),
                       clock=RoundRobinSchedule(3))
 
+    def test_clock_without_n_edges_rejected(self, k6):
+        """Regression: a clock lacking n_edges raised a raw AttributeError
+        instead of a SimulationError explaining the protocol."""
+        with pytest.raises(SimulationError, match="n_edges"):
+            Simulator(k6, VanillaGossip(), np.zeros(6), clock=object())
+
+    def test_clock_without_next_batch_rejected(self, k6):
+        """Both halves of the batch protocol are validated up front."""
+        from types import SimpleNamespace
+
+        with pytest.raises(SimulationError, match="next_batch"):
+            Simulator(k6, VanillaGossip(), np.zeros(6),
+                      clock=SimpleNamespace(n_edges=15))
+
 
 class TestCrossings:
     def test_monotone_crossing_consistency(self, k6):
@@ -200,6 +214,26 @@ class TestRecorder:
     def test_sample_every_validation(self):
         with pytest.raises(ValueError):
             TraceRecorder(sample_every=0)
+
+    def test_final_sample_not_duplicated(self, k6):
+        """Regression: when the last event coincided with a periodic
+        sample, the endpoint was recorded twice, producing repeated
+        (t, variance) trace points."""
+        recorder = TraceRecorder(sample_every=10)
+        result = simulate(k6, VanillaGossip(), [float(i) for i in range(6)],
+                          seed=6, max_events=100, recorder=recorder)
+        assert result.n_events == 100  # ends exactly on a sampling point
+        assert recorder.n_samples == 11  # t=0 plus 10 periodic samples
+        assert np.all(np.diff(recorder.times) > 0)
+
+    def test_final_sample_recorded_between_sampling_points(self, k6):
+        """The endpoint is still recorded when the run stops mid-period."""
+        recorder = TraceRecorder(sample_every=10)
+        result = simulate(k6, VanillaGossip(), [float(i) for i in range(6)],
+                          seed=6, max_events=95, recorder=recorder)
+        assert result.n_events == 95
+        assert recorder.n_samples == 11  # t=0, 9 periodic, final
+        assert recorder.times[-1] == pytest.approx(result.duration)
 
 
 class TestIncrementalStatistics:

@@ -54,6 +54,15 @@ class TestLossyClocks:
         with pytest.raises(ValueError):
             LossyClocks(inner, -0.1)
 
+    def test_all_dropped_batch_is_retried_not_exhausted(self):
+        """Regression: a small batch whose every tick was dropped came
+        back empty, which the simulator reads as clock exhaustion."""
+        inner = PoissonEdgeClocks(2, seed=0)
+        lossy = LossyClocks(inner, 0.95, seed=1)
+        for _ in range(50):
+            times, _ = lossy.next_batch(1)  # worst case: 1-tick batches
+            assert len(times) >= 1
+
     def test_lossy_vanilla_still_converges(self, k6):
         clock = LossyClocks(PoissonEdgeClocks(k6.n_edges, seed=3), 0.4, seed=4)
         result = simulate(k6, VanillaGossip(), [float(i) for i in range(6)],
@@ -72,6 +81,24 @@ class TestFailingEdgeClocks:
             (1.0, 0), (2.0, 1), (4.0, 1)
         ]
 
+    def test_all_edges_dead_reports_exhaustion(self):
+        """Once every edge is past its death time the clock must report
+        exhaustion rather than redraw forever."""
+        inner = PoissonEdgeClocks(3, seed=9)
+        failing = FailingEdgeClocks(inner, {0: 0.0, 1: 0.0, 2: 0.0})
+        times, edges = failing.next_batch(100)
+        assert len(times) == 0 and len(edges) == 0
+
+    def test_batch_on_only_dead_edges_is_retried(self):
+        """A batch landing entirely on dead edges is retried while a
+        live edge remains (an empty return would end the run early)."""
+        inner = PoissonEdgeClocks(4, seed=10)
+        failing = FailingEdgeClocks(inner, {0: 0.0, 1: 0.0, 2: 0.0})
+        for _ in range(50):
+            times, edges = failing.next_batch(1)
+            assert len(times) == 1
+            assert edges[0] == 3  # the lone immortal edge
+
     def test_random_lifetimes(self):
         inner = PoissonEdgeClocks(10, seed=5)
         failing = FailingEdgeClocks(inner, 0.5, seed=6)
@@ -87,6 +114,32 @@ class TestFailingEdgeClocks:
             FailingEdgeClocks(inner, {0: -1.0})
         with pytest.raises(ValueError):
             FailingEdgeClocks(inner, 0.0)
+
+    def test_lossy_factory_is_exact_thinning_of_plain_clock(self):
+        """The factory's surviving ticks must be a strict subset of what
+        an unwrapped clock emits under the same stream, across batch
+        boundaries (the common-random-numbers pairing E13 leans on)."""
+        from repro.clocks.unreliable import LossyPoissonClockFactory
+
+        lossy = LossyPoissonClockFactory(10, 0.4)(np.random.default_rng(3))
+        plain = PoissonEdgeClocks(10, seed=np.random.default_rng(3))
+        survived = np.concatenate(
+            [lossy.next_batch(100)[0] for _ in range(5)]
+        )
+        emitted = np.concatenate(
+            [plain.next_batch(100)[0] for _ in range(5)]
+        )
+        assert 0 < len(survived) < len(emitted)
+        assert np.isin(survived, emitted).all()
+
+    def test_seed_with_scripted_deaths_rejected(self):
+        """Regression: a seed alongside a scripted mapping was silently
+        ignored; the combination is meaningless and now raises."""
+        inner = PoissonEdgeClocks(3, seed=0)
+        with pytest.raises(ValueError, match="seed is meaningless"):
+            FailingEdgeClocks(inner, {0: 1.0}, seed=7)
+        # Explicit seed=None stays legal for scripted deaths.
+        assert FailingEdgeClocks(inner, {0: 1.0}, seed=None).n_edges == 3
 
 
 @pytest.fixture

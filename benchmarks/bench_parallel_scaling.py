@@ -11,10 +11,16 @@ count.  Two properties are asserted:
   speedup assertion only arms on machines with >= 4 CPUs: replicate
   fan-out cannot beat serial on fewer cores, so elsewhere the measured
   speedups are recorded in ``extra_info`` without failing the run.
+
+``test_sweep_scaling`` measures the same thing one level up — a whole
+E3 *sweep* (configuration x replicate fan-out through the sharded
+scheduler) — and persists the throughput trajectory (configs/sec,
+replicates/sec per worker count) to ``results/BENCH_sweep_scaling.json``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -136,3 +142,102 @@ def test_parallel_scaling(benchmark, capsys):
             f"speedup floor needs >= 4 CPUs (have {os.cpu_count()}); "
             f"determinism verified, measured {speedups}"
         )
+
+
+# ----------------------------------------------------------------------
+# sweep-level throughput (configs/sec through the sharded scheduler)
+# ----------------------------------------------------------------------
+
+SWEEP_SIZES = tuple(
+    int(token)
+    for token in os.environ.get("REPRO_BENCH_SWEEP_SIZES", "32,48,64").split(",")
+)
+
+
+def _run_e3_sweep(backend):
+    """One adaptive smoke-budget E3 sweep through the given backend."""
+    from repro.engine.sweeps import ReplicateBudget, SweepRunner
+    from repro.experiments.specs_sweeps import get_sweep
+
+    spec = get_sweep("E3", scale="smoke").with_axis("n", list(SWEEP_SIZES))
+    runner = SweepRunner(
+        spec,
+        seed=0,
+        budget=ReplicateBudget.adaptive(
+            target_ci=0.5,
+            min_replicates=REPLICATES // 2 or 1,
+            max_replicates=2 * REPLICATES,
+            round_size=2,
+        ),
+        backend=backend,
+    )
+    return runner.run(), runner.stats
+
+
+def test_sweep_scaling(benchmark, capsys):
+    """Whole-grid fan-out: sweep throughput serial vs process pools."""
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+
+    start = time.perf_counter()
+    serial_result, serial_stats = benchmark.pedantic(
+        lambda: _run_e3_sweep(SerialBackend()), rounds=1, iterations=1
+    )
+    serial_seconds = time.perf_counter() - start
+    serial_json = json.dumps(serial_result.to_dict(), sort_keys=True)
+
+    record = {
+        "sweep": "E3",
+        "sizes": list(SWEEP_SIZES),
+        "n_configurations": serial_result.n_points,
+        "replicates_reported": serial_result.total_replicates,
+        "replicates_scheduled": serial_stats["replicates_scheduled"],
+        "rounds": serial_stats["rounds"],
+        "cpu_count": os.cpu_count(),
+        "backends": {
+            "serial": {
+                "seconds": round(serial_seconds, 4),
+                "configs_per_sec": round(
+                    serial_result.n_points / serial_seconds, 4
+                ),
+                "replicates_per_sec": round(
+                    serial_stats["replicates_scheduled"] / serial_seconds, 4
+                ),
+            }
+        },
+    }
+    for n_workers in WORKER_COUNTS:
+        backend = ProcessPoolBackend(n_workers)
+        start = time.perf_counter()
+        pooled_result, pooled_stats = _run_e3_sweep(backend)
+        pooled_seconds = time.perf_counter() - start
+        backend.shutdown()
+        # The sweep contract: scheduling must not change a single byte.
+        assert (
+            json.dumps(pooled_result.to_dict(), sort_keys=True) == serial_json
+        ), f"{n_workers}-worker sweep diverged from serial"
+        record["backends"][f"process-{n_workers}"] = {
+            "seconds": round(pooled_seconds, 4),
+            "configs_per_sec": round(
+                pooled_result.n_points / pooled_seconds, 4
+            ),
+            "replicates_per_sec": round(
+                pooled_stats["replicates_scheduled"] / pooled_seconds, 4
+            ),
+            "speedup_vs_serial": round(serial_seconds / pooled_seconds, 3),
+        }
+
+    out_path = os.path.join(results_dir, "BENCH_sweep_scaling.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    benchmark.extra_info["sweep_throughput"] = record["backends"]
+    with capsys.disabled():
+        print()
+        print(f"sweep scaling, E3 sizes {list(SWEEP_SIZES)}, "
+              f"{record['replicates_scheduled']} replicates scheduled:")
+        for label, stats in record["backends"].items():
+            print(f"  {label}: {stats['seconds']:.2f}s, "
+                  f"{stats['configs_per_sec']:.2f} configs/sec")
+        print(f"  wrote {out_path}")

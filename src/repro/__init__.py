@@ -30,13 +30,20 @@ from repro.engine import (
     AveragingTimeEstimate,
     ExecutionBackend,
     MonteCarloRunner,
+    PointConfig,
     ProcessPoolBackend,
+    ReplicateBudget,
     RunResult,
     SerialBackend,
     Simulator,
+    SweepAxis,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
     TraceRecorder,
     epsilon_averaging_time,
     estimate_averaging_time,
+    run_sweep,
     shutdown_shared_backends,
     simulate,
 )
@@ -85,12 +92,19 @@ __all__ = [
     "AveragingTimeEstimate",
     "ExecutionBackend",
     "MonteCarloRunner",
+    "PointConfig",
     "ProcessPoolBackend",
+    "ReplicateBudget",
     "RunResult",
     "SerialBackend",
     "Simulator",
+    "SweepAxis",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
     "TraceRecorder",
     "epsilon_averaging_time",
+    "run_sweep",
     "estimate_averaging_time",
     "shutdown_shared_backends",
     "simulate",

@@ -19,8 +19,20 @@ from repro.engine.averaging_time import (
     AveragingTimeEstimate,
     PAPER_VARIANCE_THRESHOLD,
     PAPER_CONFIDENCE_QUANTILE,
+    crossing_sample,
     epsilon_averaging_time,
     estimate_averaging_time,
+)
+from repro.engine.sweeps import (
+    PointConfig,
+    PointResult,
+    ReplicateBudget,
+    SweepAxis,
+    SweepPoint,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
 )
 from repro.engine.metrics import variance_of, variance_ratio
 
@@ -44,8 +56,18 @@ __all__ = [
     "AveragingTimeEstimate",
     "PAPER_VARIANCE_THRESHOLD",
     "PAPER_CONFIDENCE_QUANTILE",
+    "crossing_sample",
     "epsilon_averaging_time",
     "estimate_averaging_time",
+    "PointConfig",
+    "PointResult",
+    "ReplicateBudget",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "run_sweep",
     "variance_of",
     "variance_ratio",
 ]

@@ -104,10 +104,42 @@ class AveragingTimeEstimate:
         }
 
 
-def _crossing_sample(
+def quantile_index(n: int, quantile: float) -> int:
+    """The library's one quantile convention: order statistic
+    ``ceil(q * n) - 1``, clamped to ``[0, n - 1]``.
+
+    Shared by the estimator below, the sweep scheduler's per-point
+    quantiles and its bootstrap resamples — one definition, so the
+    sweep path and the single-configuration path cannot drift.
+    """
+    index = min(int(math.ceil(quantile * n)) - 1, n - 1)
+    return max(index, 0)
+
+
+def quantile_estimate(samples: "Sequence[float]", quantile: float) -> float:
+    """The ``quantile``-quantile of ``samples`` under the rule above.
+
+    ``inf`` (censored) samples sort last, so a quantile landing among
+    them is honestly infinite.  NaN samples must be excluded by the
+    caller.  Empty input returns NaN.
+    """
+    array = np.sort(np.asarray(samples, dtype=np.float64))
+    if len(array) == 0:
+        return float("nan")
+    return float(array[quantile_index(len(array), quantile)])
+
+
+def crossing_sample(
     result: RunResult, threshold: float, monotone: bool
 ) -> "tuple[float, bool]":
-    """Extract (last-crossing time, censored?) from one run."""
+    """Extract (last-crossing time, censored?) from one run.
+
+    The single sample-extraction rule shared by the estimator below and
+    the sweep scheduler (:mod:`repro.engine.sweeps`): monotone algorithms
+    settle at their first crossing, non-monotone ones are trusted only if
+    the run actually reached its settle target; everything else is a
+    censored ``inf`` sample.
+    """
     crossing = result.crossing(threshold)
     if monotone:
         if crossing.first_below is None:
@@ -175,17 +207,14 @@ def estimate_averaging_time(
     samples = []
     n_censored = 0
     for result in results:
-        sample, censored = _crossing_sample(result, threshold, monotone)
+        sample, censored = crossing_sample(result, threshold, monotone)
         samples.append(sample)
         n_censored += int(censored)
     sample_array = np.asarray(samples, dtype=np.float64)
 
-    finite = np.sort(sample_array)  # inf sorts last
-    # Index of the quantile among *all* replicates, censored included:
-    # if it lands on a censored one the estimate is infinite.
-    index = min(int(math.ceil(quantile * n_replicates)) - 1, n_replicates - 1)
-    index = max(index, 0)
-    estimate = float(finite[index])
+    # Quantile among *all* replicates, censored included: if it lands on
+    # a censored one the estimate is infinite.
+    estimate = quantile_estimate(sample_array, quantile)
     return AveragingTimeEstimate(
         estimate=estimate,
         samples=sample_array,

@@ -22,7 +22,7 @@ derived inside :func:`execute_replicate` from the spec's seed sequence
 mutable state.  Results are therefore **bit-identical across backends and
 worker counts** for the same root seed: ``ProcessPoolBackend`` reorders
 only wall-clock execution, and :meth:`ExecutionBackend.execute` returns
-results in replicate order regardless of completion order.
+results in submission order regardless of completion order.
 
 **Picklability.**  Process execution ships specs to workers with
 :mod:`pickle`.  Graphs, partitions, clock processes and the library's
@@ -72,8 +72,10 @@ class ReplicateSpec:
     Attributes
     ----------
     index:
-        Position in the replicate sequence; results are reassembled in
-        this order no matter where the spec executed.
+        The replicate's position within its configuration's sequence
+        (metadata — seeds live in ``seed_sequence``).  Not unique across
+        a sweep batch; backends return results in submission order, not
+        by this field.
     graph:
         The graph to simulate on.
     algorithm_factory:
@@ -139,10 +141,15 @@ def execute_replicate(spec: ReplicateSpec) -> RunResult:
 class ExecutionBackend(abc.ABC):
     """How a batch of replicate specs gets executed.
 
-    Implementations must return results **in replicate order** (matching
-    ``spec.index``) and must not inject any randomness of their own —
-    both are what makes backends interchangeable without touching any
-    estimate.
+    Implementations must return results **in submission order** —
+    ``result[i]`` belongs to ``specs[i]`` — and must not inject any
+    randomness of their own; both are what makes backends
+    interchangeable without touching any estimate.  ``spec.index``
+    identifies a replicate *within its configuration* and is **not**
+    unique across a batch: the sweep scheduler
+    (:mod:`repro.engine.sweeps`) batches windows from many
+    configurations into one call, so several specs legitimately share an
+    index.  Backends must never reorder or key results by it.
     """
 
     #: Short machine name (CLI/report label).
@@ -150,7 +157,7 @@ class ExecutionBackend(abc.ABC):
 
     @abc.abstractmethod
     def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
-        """Run every spec and return results in replicate order."""
+        """Run every spec and return results in submission order."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -168,7 +175,7 @@ class SerialBackend(ExecutionBackend):
 class ProcessPoolBackend(ExecutionBackend):
     """Fan replicates out over a process pool.
 
-    Specs are pickled to workers and results reassembled in replicate
+    Specs are pickled to workers and results reassembled in submission
     order, so output is bit-identical to :class:`SerialBackend` for the
     same root seed (see the module docstring's reproducibility guarantee).
 
@@ -225,7 +232,21 @@ class ProcessPoolBackend(ExecutionBackend):
                     "recorder object; run with the serial backend "
                     "(n_workers=1) to trace replicates"
                 )
-        self._check_picklable(specs[0])
+        # Probe picklability once per distinct configuration: replicates
+        # of one configuration share their graph/factory objects, but a
+        # sweep batch mixes configurations and any one of them can carry
+        # the unpicklable closure.
+        seen: "set[tuple[int, ...]]" = set()
+        for spec in specs:
+            key = (
+                id(spec.graph),
+                id(spec.algorithm_factory),
+                id(spec.initial_values),
+                id(spec.clock_factory),
+            )
+            if key not in seen:
+                seen.add(key)
+                self._check_picklable(spec)
         if self._pool is None:
             # Lazily created and reused across execute() calls: an
             # experiment makes dozens of estimator calls, and paying

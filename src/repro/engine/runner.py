@@ -124,18 +124,25 @@ class MonteCarloRunner:
         self.backend = resolve_backend(backend, n_workers=n_workers)
 
     def build_specs(
-        self, n_replicates: int, **run_kwargs: object
+        self, n_replicates: int, *, start: int = 0, **run_kwargs: object
     ) -> "list[ReplicateSpec]":
         """Derive the per-replicate work orders (seed bookkeeping lives here).
 
-        Replicate ``i``'s randomness comes from the ``i``-th spawn of the
+        Replicate ``i``'s randomness comes from the ``i``-th child of the
         root seed sequence, so the stream assignment never depends on the
-        backend, the worker count, or how many replicates run.
+        backend, the worker count, or how many replicates run.  ``start``
+        shifts the replicate window: ``build_specs(k, start=s)`` builds
+        replicates ``s .. s+k-1`` with exactly the streams they would have
+        had in one big ``build_specs(s+k)`` call — the sweep scheduler
+        uses this to grow a configuration's replicate set in rounds
+        without perturbing any existing stream.
         """
         if n_replicates < 1:
             raise SimulationError(
                 f"n_replicates must be positive, got {n_replicates}"
             )
+        if start < 0:
+            raise SimulationError(f"start must be non-negative, got {start}")
         if isinstance(self.seed, np.random.SeedSequence):
             # Derive (not spawn) so the caller's child counter is never
             # advanced — a second run() must reuse identical streams.
@@ -153,11 +160,14 @@ class MonteCarloRunner:
                 graph=self.graph,
                 algorithm_factory=self.algorithm_factory,
                 initial_values=self.initial_values,
-                seed_sequence=child,
+                # derive_child(root, i) is exactly the child spawn() would
+                # yield at i, so windows [0, n) and [s, s+k) tile the same
+                # stream assignment without mutating root's child counter.
+                seed_sequence=derive_child(root, index),
                 clock_factory=self.clock_factory,
                 run_kwargs=dict(run_kwargs),
             )
-            for index, child in enumerate(root.spawn(n_replicates))
+            for index in range(start, start + n_replicates)
         ]
 
     def run(self, n_replicates: int, **run_kwargs: object) -> list[RunResult]:

@@ -60,6 +60,10 @@ class ConvergenceError(SimulationError):
         super().__init__(message)
 
 
+class SweepError(SimulationError):
+    """A parameter sweep was specified or resumed incorrectly."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 

@@ -10,6 +10,11 @@ from repro.experiments.workloads import (
 )
 from repro.experiments.harness import ExperimentReport, ShapeCheck, measure_averaging_time
 from repro.experiments.specs import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.specs_sweeps import (
+    SWEEPS,
+    default_sweep_budget,
+    get_sweep,
+)
 
 __all__ = [
     "bimodal_noise",
@@ -24,4 +29,7 @@ __all__ = [
     "EXPERIMENTS",
     "get_experiment",
     "run_experiment",
+    "SWEEPS",
+    "default_sweep_budget",
+    "get_sweep",
 ]

@@ -15,6 +15,14 @@ bit-identical to serial for the same seed — see
 :mod:`repro.engine.backends`)::
 
     python -m repro.experiments.cli run E3 --workers 4
+
+Run a whole parameter sweep through the sharded scheduler (every
+configuration x replicate work unit shares one worker pool; results are
+bit-identical across backends, worker counts and round sizes — see
+:mod:`repro.engine.sweeps`)::
+
+    python -m repro.experiments.cli sweep E3 --axis n=64,128,256 \
+        --workers 4 --target-ci 0.05 --out results/
 """
 
 from __future__ import annotations
@@ -28,10 +36,22 @@ from repro.engine.backends import (
     default_n_workers,
     scoped_shared_backends,
 )
-from repro.errors import SimulationError
+from repro.engine.sweeps import ReplicateBudget, SweepRunner
+from repro.errors import ReproError, SimulationError
 from repro.experiments.harness import SCALES
-from repro.experiments.reporting import render_summary, save_report
+from repro.experiments.reporting import (
+    render_summary,
+    render_sweep_table,
+    save_report,
+    save_sweep_result,
+)
 from repro.experiments.specs import EXPERIMENTS, run_experiment
+from repro.experiments.specs_sweeps import (
+    SWEEPS,
+    axis_override_from_text,
+    default_sweep_budget,
+    get_sweep,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,8 +80,121 @@ def build_parser() -> argparse.ArgumentParser:
         "for the same seed",
     )
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a declared parameter sweep through the sharded scheduler",
+    )
+    sweep.add_argument(
+        "sweep_id",
+        help=f"sweep id ({', '.join(sorted(SWEEPS))})",
+    )
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="override one axis's values (repeatable), e.g. n=64,128,256",
+    )
+    sweep.add_argument("--scale", choices=SCALES, default=None)
+    sweep.add_argument(
+        "--seed", type=int, default=0,
+        help="sweep root seed (per-configuration streams derive from it)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the configuration x replicate fan-out "
+        f"(default: ${WORKERS_ENV_VAR} or serial); results are identical "
+        "across worker counts for the same seed",
+    )
+    sweep.add_argument(
+        "--target-ci", type=float, default=None, metavar="W",
+        help="adaptive budget: stop a configuration once the bootstrap CI "
+        "on the target quantile has relative width <= W",
+    )
+    sweep.add_argument(
+        "--min-replicates", type=int, default=None, metavar="N",
+        help="adaptive budget floor (never settle on fewer replicates)",
+    )
+    sweep.add_argument(
+        "--max-replicates", type=int, default=None, metavar="N",
+        help="adaptive budget cap (points hitting it are flagged "
+        "budget_exhausted)",
+    )
+    sweep.add_argument(
+        "--round-size", type=int, default=None, metavar="N",
+        help="replicates added per adaptive round after the floor",
+    )
+    sweep.add_argument(
+        "--replicates", type=int, default=None, metavar="N",
+        help="fixed budget: exactly N replicates per configuration "
+        "(disables the adaptive rule)",
+    )
+    sweep.add_argument("--out", default=None, help="directory for sweep JSON")
+    sweep.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="JSON checkpoint written after each round; an existing file "
+        "resumes the sweep, skipping settled configurations",
+    )
+
     subparsers.add_parser("list", help="list available experiments")
     return parser
+
+
+def _sweep_budget(args) -> ReplicateBudget:
+    """Resolve the budget flags (fixed wins; adaptive flags overlay the
+    scale default)."""
+    if args.replicates is not None:
+        return ReplicateBudget.fixed(args.replicates)
+    base = default_sweep_budget(args.scale)
+    overrides = {}
+    if args.target_ci is not None:
+        overrides["target_ci"] = args.target_ci
+    if args.min_replicates is not None:
+        overrides["min_replicates"] = args.min_replicates
+    if args.max_replicates is not None:
+        overrides["max_replicates"] = args.max_replicates
+    if args.round_size is not None:
+        overrides["round_size"] = args.round_size
+    if not overrides:
+        return base
+    merged = base.to_dict()
+    merged.update(overrides)
+    return ReplicateBudget.from_dict(merged)
+
+
+def _run_sweep_command(args) -> int:
+    spec = get_sweep(args.sweep_id, scale=args.scale)
+    for override in args.axis:
+        name, values = axis_override_from_text(override)
+        spec = spec.with_axis(name, values)
+    budget = _sweep_budget(args)
+    with scoped_shared_backends():
+        # Backend resolution must happen inside the scope: it registers
+        # the shared worker pool, and only pools created inside the
+        # block are released on exit.
+        runner = SweepRunner(
+            spec,
+            seed=args.seed,
+            budget=budget,
+            n_workers=args.workers,
+            checkpoint_path=args.checkpoint,
+        )
+        result = runner.run()
+    print(render_sweep_table(result).render())
+    print()
+    print(
+        f"scheduler: {runner.stats['rounds']} rounds, "
+        f"{runner.stats['replicates_scheduled']} replicates scheduled "
+        f"({result.total_replicates} reported), "
+        f"{runner.stats['points_resumed']} points resumed"
+    )
+    if args.out:
+        path = save_sweep_result(result, args.out)
+        print(f"saved {path}")
+    exhausted = sum(p.budget_exhausted for p in result.points)
+    if exhausted:
+        print(f"warning: {exhausted} configuration(s) hit the replicate cap")
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -71,13 +204,21 @@ def main(argv: "list[str] | None" = None) -> int:
         for experiment_id, function in EXPERIMENTS.items():
             doc = (function.__doc__ or "").strip().splitlines()
             summary = doc[0] if doc else ""
-            print(f"{experiment_id}: {summary}")
+            sweepable = " [sweepable]" if experiment_id in SWEEPS else ""
+            print(f"{experiment_id}: {summary}{sweepable}")
         return 0
 
     if args.workers is not None and args.workers < 1:
         print(f"--workers must be positive, got {args.workers}",
               file=sys.stderr)
         return 2
+
+    if args.command == "sweep":
+        try:
+            return _run_sweep_command(args)
+        except ReproError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     if args.workers is None:
         # Surface a bad REPRO_WORKERS value before any report output
         # instead of as a traceback inside the first estimator call.

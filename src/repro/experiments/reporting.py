@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 
+from repro.engine.sweeps import SweepResult
 from repro.experiments.harness import ExperimentReport
 from repro.util.serialization import to_json_file
+from repro.util.tables import Table
 
 
 def save_report(report: ExperimentReport, directory: "str | Path") -> "tuple[Path, Path]":
@@ -21,6 +24,39 @@ def save_report(report: ExperimentReport, directory: "str | Path") -> "tuple[Pat
     text_path.write_text(report.render() + "\n", encoding="utf-8")
     to_json_file(report.to_dict(), json_path)
     return text_path, json_path
+
+
+def render_sweep_table(result: SweepResult) -> Table:
+    """One row per grid point: quantile estimate, CI, replicate spend."""
+    axis_names = list(result.axes)
+    table = Table(
+        axis_names
+        + ["T_av (q)", "ci low", "ci high", "rel width", "reps", "cens",
+           "div", "flags"],
+        title=(
+            f"sweep {result.sweep_name}: {result.n_points} configurations, "
+            f"{result.total_replicates} replicates"
+        ),
+    )
+    for point in result.points:
+        flags = "budget_exhausted" if point.budget_exhausted else ""
+        estimate = (
+            "censored" if math.isinf(point.estimate) else point.estimate
+        )
+        table.add_row(
+            [point.params[name] for name in axis_names]
+            + [estimate, point.ci_low, point.ci_high,
+               point.ci_relative_width, point.n_replicates,
+               point.n_censored, point.n_diverged, flags]
+        )
+    return table
+
+
+def save_sweep_result(result: SweepResult, directory: "str | Path") -> Path:
+    """Write ``sweep_<id>.json`` (the resumable/diffable artifact)."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    return result.save(base / f"sweep_{result.sweep_name.lower()}.json")
 
 
 def render_summary(reports: "list[ExperimentReport]") -> str:

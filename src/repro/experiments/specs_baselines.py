@@ -28,12 +28,7 @@ from repro.experiments.specs_scaling import (
     nonconvex_budget,
 )
 from repro.experiments.workloads import cut_aligned
-from repro.graphs.composites import (
-    dumbbell_graph,
-    two_erdos_renyi,
-    two_expanders,
-    two_grids,
-)
+from repro.graphs.composites import dumbbell_graph, two_grids
 from repro.util.tables import Table
 
 
@@ -189,19 +184,37 @@ def e9_topologies(scale: "str | None" = None, seed: int = 37) -> ExperimentRepor
     """
     scale = resolve_scale(scale)
     replicates = pick(scale, smoke=3, default=6, full=10)
-    if scale == "smoke":
-        families = [
-            ("clique", dumbbell_graph(32)),
-            ("grid (negative control)", two_grids(3, 3, n_bridges=1)),
-        ]
-    else:
-        half = pick(scale, smoke=8, default=48, full=96)
-        families = [
-            ("clique", dumbbell_graph(2 * half)),
-            ("expander (ambiguous zone)", two_expanders(half, degree=8, n_bridges=1, seed=seed)),
-            ("erdos-renyi", two_erdos_renyi(half, n_bridges=1, seed=seed + 1)),
-            ("grid (negative control)", two_grids(6, 8, n_bridges=1)),
-        ]
+    # Family grid and instance parameters come from the E9 SweepSpec
+    # declaration (specs_sweeps is the single source of truth for ported
+    # grids); the pair construction is shared with the sweep builder.
+    from repro.experiments.specs_sweeps import (
+        E9_FAMILIES,
+        E9_GRID_DIMS,
+        E9_HALF,
+        build_family_pair,
+    )
+
+    labels = {
+        "clique": "clique",
+        "expander": "expander (ambiguous zone)",
+        "erdos_renyi": "erdos-renyi",
+        "grid": "grid (negative control)",
+    }
+    rows, cols = E9_GRID_DIMS[scale]
+    families = [
+        (
+            labels[family],
+            build_family_pair(
+                family,
+                half=E9_HALF[scale],
+                grid_rows=rows,
+                grid_cols=cols,
+                degree=pick(scale, smoke=4, default=8, full=8),
+                seed=seed,
+            ),
+        )
+        for family in E9_FAMILIES[scale]
+    ]
 
     report = ExperimentReport(
         experiment_id="E9",

@@ -246,12 +246,11 @@ def e3_dumbbell_headline(scale: "str | None" = None, seed: int = 13) -> Experime
     EXPERIMENTS.md.
     """
     scale = resolve_scale(scale)
-    sizes = pick(
-        scale,
-        smoke=[32, 48],
-        default=[32, 64, 128],
-        full=[32, 64, 128, 256],
-    )
+    # The size grid is declared once, as the E3 SweepSpec's axis
+    # (specs_sweeps is the single source of truth for ported grids).
+    from repro.experiments.specs_sweeps import E3_SIZES
+
+    sizes = list(E3_SIZES[scale])
     replicates = pick(scale, smoke=3, default=6, full=10)
 
     report = ExperimentReport(
@@ -342,9 +341,18 @@ def e3_dumbbell_headline(scale: "str | None" = None, seed: int = 13) -> Experime
 def e4_cut_width(scale: "str | None" = None, seed: int = 17) -> ExperimentReport:
     """Sweep |E12| at fixed n: convex time falls ~1/|E12|, A stays flat."""
     scale = resolve_scale(scale)
-    half = pick(scale, smoke=16, default=64, full=128)
+    # Width grid, pair size and pair construction come from the E4
+    # SweepSpec declaration (specs_sweeps is the single source of truth
+    # for ported grids, so sweep and report measure the same instances).
+    from repro.experiments.specs_sweeps import (
+        E4_HALF,
+        E4_WIDTHS,
+        build_width_pair,
+    )
+
+    half = E4_HALF[scale]
     degree = pick(scale, smoke=4, default=8, full=8)
-    widths = pick(scale, smoke=[1, 4], default=[1, 2, 4, 8, 16], full=[1, 2, 4, 8, 16, 32])
+    widths = list(E4_WIDTHS[scale])
     replicates = pick(scale, smoke=3, default=6, full=10)
 
     report = ExperimentReport(
@@ -362,7 +370,7 @@ def e4_cut_width(scale: "str | None" = None, seed: int = 17) -> ExperimentReport
     )
     vanilla_times, a_times, bounds = [], [], []
     for index, width in enumerate(widths):
-        pair = two_expanders(half, half, degree=degree, n_bridges=width, seed=seed + index)
+        pair = build_width_pair(width, half=half, degree=degree, seed=seed)
         x0 = cut_aligned(pair.partition)
         est_vanilla = measure_averaging_time(
             pair.graph, VanillaGossip, x0,

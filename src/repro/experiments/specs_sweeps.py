@@ -1,0 +1,306 @@
+"""Sweep declarations: E3/E4/E9 grids as :class:`SweepSpec` objects.
+
+The scaling experiments are grids (size x algorithm, cut width x
+algorithm, family x algorithm) measured point by point; this module
+declares those grids once so the sweep scheduler
+(:mod:`repro.engine.sweeps`) can fan the **whole grid** out over one
+worker pool.  The per-scale grid values defined here are the single
+source of truth — the legacy report functions in
+:mod:`repro.experiments.specs_scaling` / ``specs_baselines`` read their
+sizes from the same tables, so the sweep path and the report path can
+never drift apart.
+
+Every builder is a module-level function returning a
+:class:`~repro.engine.sweeps.PointConfig` built from picklable pieces
+(:class:`~repro.engine.backends.AlgorithmFactory`, plain graphs), so
+sweep replicates fan out to worker processes unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.algorithms.vanilla import VanillaGossip
+from repro.engine.sweeps import (
+    PointConfig,
+    ReplicateBudget,
+    SweepAxis,
+    SweepSpec,
+)
+from repro.errors import ExperimentError
+from repro.experiments.harness import pick, resolve_scale
+from repro.experiments.specs_scaling import (
+    MAX_EVENTS,
+    _algorithm_a_factory,
+    convex_budget,
+    nonconvex_budget,
+)
+from repro.experiments.workloads import cut_aligned
+from repro.graphs.composites import (
+    BridgedPair,
+    dumbbell_graph,
+    two_erdos_renyi,
+    two_expanders,
+    two_grids,
+)
+
+#: The algorithm axis shared by every ported sweep: the paper's headline
+#: comparison is always convex baseline vs Algorithm A.
+ALGORITHMS = ("vanilla", "algorithm_a")
+
+# Per-scale grid values (single source of truth; the legacy report
+# functions read these same tables).
+E3_SIZES = {
+    "smoke": (32, 48),
+    "default": (32, 64, 128),
+    "full": (32, 64, 128, 256),
+}
+E4_WIDTHS = {
+    "smoke": (1, 4),
+    "default": (1, 2, 4, 8, 16),
+    "full": (1, 2, 4, 8, 16, 32),
+}
+E4_HALF = {"smoke": 16, "default": 64, "full": 128}
+E9_FAMILIES = {
+    "smoke": ("clique", "grid"),
+    "default": ("clique", "expander", "erdos_renyi", "grid"),
+    "full": ("clique", "expander", "erdos_renyi", "grid"),
+}
+E9_HALF = {"smoke": 16, "default": 48, "full": 96}
+E9_GRID_DIMS = {"smoke": (3, 3), "default": (6, 8), "full": (6, 8)}
+
+
+def _point_config(pair: BridgedPair, algorithm: str) -> PointConfig:
+    """The measurement every ported sweep point runs: T_av of one
+    algorithm on one bridged pair under the cut-aligned workload."""
+    x0 = cut_aligned(pair.partition)
+    if algorithm == "vanilla":
+        factory: "Callable[..., Any]" = VanillaGossip
+        budget = convex_budget(pair)
+    elif algorithm == "algorithm_a":
+        factory, _ = _algorithm_a_factory(pair)
+        # Grid-like families mix slowly; never give A less time than the
+        # convex scale needs (mirrors the E9 report function).
+        budget = max(nonconvex_budget(pair), convex_budget(pair))
+    else:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    return PointConfig(
+        graph=pair.graph,
+        algorithm_factory=factory,
+        initial_values=x0,
+        max_time=budget,
+        max_events=MAX_EVENTS,
+    )
+
+
+# ----------------------------------------------------------------------
+# point builders (module-level: the configs they build must pickle)
+# ----------------------------------------------------------------------
+
+
+def e3_build_point(*, n: int, algorithm: str) -> PointConfig:
+    """E3 dumbbell headline point: two n/2-cliques joined by one edge."""
+    return _point_config(dumbbell_graph(int(n)), algorithm)
+
+
+def build_width_pair(
+    width: int, *, half: int, degree: int, seed: int
+) -> BridgedPair:
+    """Construct one E4 expander pair with ``width`` bridges.
+
+    Shared by the E4 sweep builder and the E4 report function — the
+    graph seed is keyed by the width itself (not the grid position), so
+    both paths measure the same instance even under ``--axis`` overrides.
+    """
+    return two_expanders(
+        int(half), int(half), degree=int(degree),
+        n_bridges=int(width), seed=int(seed) + int(width),
+    )
+
+
+def e4_build_point(
+    *, width: int, algorithm: str, half: int, degree: int, seed: int
+) -> PointConfig:
+    """E4 cut-width point: expander pair with ``width`` bridges."""
+    pair = build_width_pair(width, half=half, degree=degree, seed=seed)
+    return _point_config(pair, algorithm)
+
+
+def build_family_pair(
+    family: str,
+    *,
+    half: int,
+    grid_rows: int,
+    grid_cols: int,
+    degree: int,
+    seed: int,
+) -> BridgedPair:
+    """Construct one E9 sparse-cut family instance.
+
+    Shared by the E9 sweep builder and the E9 report function, so the
+    two paths measure the same graphs.
+    """
+    half = int(half)
+    if family == "clique":
+        return dumbbell_graph(2 * half)
+    if family == "expander":
+        return two_expanders(half, degree=int(degree), n_bridges=1,
+                             seed=int(seed))
+    if family == "erdos_renyi":
+        return two_erdos_renyi(half, n_bridges=1, seed=int(seed) + 1)
+    if family == "grid":
+        return two_grids(int(grid_rows), int(grid_cols), n_bridges=1)
+    raise ExperimentError(
+        f"unknown family {family!r}; expected clique/expander/"
+        "erdos_renyi/grid"
+    )
+
+
+def e9_build_point(
+    *,
+    family: str,
+    algorithm: str,
+    half: int,
+    grid_rows: int,
+    grid_cols: int,
+    degree: int,
+    seed: int,
+) -> PointConfig:
+    """E9 topology point: one sparse-cut family instance."""
+    pair = build_family_pair(
+        family, half=half, grid_rows=grid_rows, grid_cols=grid_cols,
+        degree=degree, seed=seed,
+    )
+    return _point_config(pair, algorithm)
+
+
+# ----------------------------------------------------------------------
+# sweep declarations
+# ----------------------------------------------------------------------
+
+
+def e3_sweep(scale: "str | None" = None, seed: int = 13) -> SweepSpec:
+    """E3 as a grid: dumbbell size x algorithm."""
+    scale = resolve_scale(scale)
+    return SweepSpec(
+        name="E3",
+        axes=(
+            SweepAxis("n", E3_SIZES[scale]),
+            SweepAxis("algorithm", ALGORITHMS),
+        ),
+        builder=e3_build_point,
+    )
+
+
+def e4_sweep(scale: "str | None" = None, seed: int = 17) -> SweepSpec:
+    """E4 as a grid: cut width x algorithm at fixed n."""
+    scale = resolve_scale(scale)
+    return SweepSpec(
+        name="E4",
+        axes=(
+            SweepAxis("width", E4_WIDTHS[scale]),
+            SweepAxis("algorithm", ALGORITHMS),
+        ),
+        builder=e4_build_point,
+        base_params={
+            "half": E4_HALF[scale],
+            "degree": pick(scale, smoke=4, default=8, full=8),
+            "seed": seed,
+        },
+    )
+
+
+def e9_sweep(scale: "str | None" = None, seed: int = 37) -> SweepSpec:
+    """E9 as a grid: sparse-cut family x algorithm."""
+    scale = resolve_scale(scale)
+    rows, cols = E9_GRID_DIMS[scale]
+    return SweepSpec(
+        name="E9",
+        axes=(
+            SweepAxis("family", E9_FAMILIES[scale]),
+            SweepAxis("algorithm", ALGORITHMS),
+        ),
+        builder=e9_build_point,
+        base_params={
+            "half": E9_HALF[scale],
+            "grid_rows": rows,
+            "grid_cols": cols,
+            "degree": pick(scale, smoke=4, default=8, full=8),
+            "seed": seed,
+        },
+    )
+
+
+#: Registered sweeps, keyed by experiment id.
+SWEEPS: "dict[str, Callable[..., SweepSpec]]" = {
+    "E3": e3_sweep,
+    "E4": e4_sweep,
+    "E9": e9_sweep,
+}
+
+
+def get_sweep(sweep_id: str, *, scale: "str | None" = None,
+              seed: "int | None" = None) -> SweepSpec:
+    """Look up and instantiate a sweep declaration (case-insensitive)."""
+    key = sweep_id.upper()
+    if key not in SWEEPS:
+        raise ExperimentError(
+            f"no sweep declared for {sweep_id!r}; available: {sorted(SWEEPS)}"
+        )
+    kwargs: "dict[str, Any]" = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return SWEEPS[key](**kwargs)
+
+
+def default_sweep_budget(scale: "str | None" = None) -> ReplicateBudget:
+    """Scale-matched adaptive budget.
+
+    The floor matches the legacy fixed replicate count of each scale, so
+    a sweep is never *less* certain than the report path; the cap gives
+    the adaptive rule room to tighten noisy grid points.
+    """
+    scale = resolve_scale(scale)
+    floor = pick(scale, smoke=3, default=6, full=10)
+    return ReplicateBudget.adaptive(
+        target_ci=0.5,
+        min_replicates=floor,
+        max_replicates=4 * floor,
+        round_size=max(floor // 2, 1),
+    )
+
+
+def axis_override_from_text(text: str) -> "tuple[str, list]":
+    """Parse a CLI ``--axis name=v1,v2,...`` override.
+
+    Values are coerced to int, then float, then kept as strings — the
+    same literal forms the grid tables above use.
+    """
+    if "=" not in text:
+        raise ExperimentError(
+            f"--axis expects name=v1,v2,... got {text!r}"
+        )
+    name, _, raw_values = text.partition("=")
+    name = name.strip()
+    values: "list[Any]" = []
+    for token in raw_values.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(int(token))
+            continue
+        except ValueError:
+            pass
+        try:
+            values.append(float(token))
+            continue
+        except ValueError:
+            values.append(token)
+    if not name or not values:
+        raise ExperimentError(
+            f"--axis expects name=v1,v2,... got {text!r}"
+        )
+    return name, values

@@ -61,6 +61,72 @@ def test_cli_workers_flag_sets_env_and_reproduces_serial(
     assert main(["run", "E3", "--workers", "0"]) == 2
 
 
+def test_cli_sweep_runs_and_saves_artifact(tmp_path, capsys):
+    """The sweep subcommand: axis overrides, fixed budget, JSON artifact."""
+    exit_code = main([
+        "sweep", "E3", "--scale", "smoke",
+        "--axis", "n=16,24", "--axis", "algorithm=vanilla",
+        "--replicates", "2", "--out", str(tmp_path),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "sweep E3" in captured.out
+    assert (tmp_path / "sweep_e3.json").exists()
+
+    from repro.engine.sweeps import SweepResult
+
+    result = SweepResult.load(tmp_path / "sweep_e3.json")
+    assert result.n_points == 2
+    assert all(p.n_replicates == 2 for p in result.points)
+
+
+@pytest.mark.slow
+def test_cli_sweep_workers_reproduce_serial(tmp_path, capsys):
+    """--workers must not change a single byte of the sweep artifact."""
+    from repro.engine.backends import _SHARED_PROCESS_BACKENDS
+
+    argv = [
+        "sweep", "E3", "--scale", "smoke",
+        "--axis", "n=16,24,32", "--axis", "algorithm=vanilla",
+        "--target-ci", "0.8", "--min-replicates", "3",
+        "--max-replicates", "8",
+    ]
+    pools_before = set(_SHARED_PROCESS_BACKENDS)
+    assert main(argv + ["--out", str(tmp_path / "serial")]) == 0
+    assert main(argv + ["--out", str(tmp_path / "pooled"),
+                        "--workers", "2"]) == 0
+    capsys.readouterr()
+    # Programmatic main() must release the worker pools it created.
+    assert set(_SHARED_PROCESS_BACKENDS) == pools_before
+    serial = (tmp_path / "serial" / "sweep_e3.json").read_text()
+    pooled = (tmp_path / "pooled" / "sweep_e3.json").read_text()
+    assert serial == pooled
+
+
+def test_cli_sweep_checkpoint_resume(tmp_path, capsys):
+    """A finished checkpoint makes the rerun a pure read."""
+    argv = [
+        "sweep", "E3", "--scale", "smoke", "--axis", "n=16",
+        "--axis", "algorithm=vanilla", "--replicates", "2",
+        "--checkpoint", str(tmp_path / "ckpt.json"),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "1 points resumed" in second
+    assert first.splitlines()[:5] == second.splitlines()[:5]  # same table
+
+
+def test_cli_sweep_rejects_bad_input(capsys):
+    assert main(["sweep", "E99"]) == 2
+    assert "no sweep declared" in capsys.readouterr().err
+    assert main(["sweep", "E3", "--axis", "bogus"]) == 2
+    assert "--axis expects" in capsys.readouterr().err
+    assert main(["sweep", "E3", "--workers", "0"]) == 2
+    capsys.readouterr()
+
+
 def test_cli_reports_failure_exit_code(monkeypatch, capsys):
     """A failing check must surface as a non-zero exit code."""
     from repro.experiments import specs

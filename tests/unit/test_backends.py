@@ -63,6 +63,7 @@ def assert_results_identical(first, second):
         assert results_identical(a, b)
 
 
+@pytest.mark.slow
 class TestDeterminismAcrossBackends:
     def test_process_pool_matches_serial_exactly(self):
         """The headline guarantee: same seed => bit-identical results."""
@@ -139,6 +140,7 @@ class TestDeterminismAcrossBackends:
         assert_results_identical(serial, pooled)
 
 
+@pytest.mark.slow
 class TestFailureModelsThroughBackends:
     """Satellite coverage: both failure models wrapped by the backends."""
 

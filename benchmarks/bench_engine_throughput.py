@@ -6,7 +6,6 @@ performance regressions in the hot loop that every experiment depends on.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.algorithms.nonconvex import NonConvexSparseCutGossip

@@ -47,6 +47,12 @@ DUMBBELL_N = int(os.environ.get("REPRO_BENCH_PARALLEL_N", "128"))
 REPLICATES = int(os.environ.get("REPRO_BENCH_PARALLEL_REPLICATES", "8"))
 WORKER_COUNTS = (2, 4)
 MAX_EVENTS = 5_000_000
+#: 4-worker speedup floor; 0 records the numbers without asserting.
+#: Disarm it (REPRO_BENCH_SPEEDUP_FLOOR=0) when the workload is scaled
+#: down below what amortizes worker spawn — e.g. the CI smoke job,
+#: whose ~0.1s serial section can never beat pool startup even on a
+#: 4-vCPU runner where the >=4-CPU arming condition holds.
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_SPEEDUP_FLOOR", "1.5"))
 
 
 def _build_workload() -> dict:
@@ -132,10 +138,15 @@ def test_parallel_scaling(benchmark, capsys):
         for n_workers, speedup in speedups.items():
             print(f"  {n_workers} workers: {speedup:.2f}x")
 
-    if (os.cpu_count() or 1) >= 4:
-        assert speedups[4] > 1.5, (
-            f"4-worker speedup {speedups[4]:.2f}x below the 1.5x floor "
-            f"(serial {serial_seconds:.2f}s)"
+    if SPEEDUP_FLOOR <= 0:
+        pytest.skip(
+            "speedup floor disarmed (REPRO_BENCH_SPEEDUP_FLOOR=0); "
+            f"determinism verified, measured {speedups}"
+        )
+    elif (os.cpu_count() or 1) >= 4:
+        assert speedups[4] > SPEEDUP_FLOOR, (
+            f"4-worker speedup {speedups[4]:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor (serial {serial_seconds:.2f}s)"
         )
     else:
         pytest.skip(
@@ -197,9 +208,7 @@ def test_sweep_scaling(benchmark, capsys):
         "backends": {
             "serial": {
                 "seconds": round(serial_seconds, 4),
-                "configs_per_sec": round(
-                    serial_result.n_points / serial_seconds, 4
-                ),
+                "configs_per_sec": round(serial_result.n_points / serial_seconds, 4),
                 "replicates_per_sec": round(
                     serial_stats["replicates_scheduled"] / serial_seconds, 4
                 ),
@@ -218,9 +227,7 @@ def test_sweep_scaling(benchmark, capsys):
         ), f"{n_workers}-worker sweep diverged from serial"
         record["backends"][f"process-{n_workers}"] = {
             "seconds": round(pooled_seconds, 4),
-            "configs_per_sec": round(
-                pooled_result.n_points / pooled_seconds, 4
-            ),
+            "configs_per_sec": round(pooled_result.n_points / pooled_seconds, 4),
             "replicates_per_sec": round(
                 pooled_stats["replicates_scheduled"] / pooled_seconds, 4
             ),

@@ -116,6 +116,8 @@ class GossipAlgorithm(abc.ABC):
 
     def __repr__(self) -> str:
         fields = ", ".join(
-            f"{key}={value!r}" for key, value in self.describe().items() if key != "name"
+            f"{key}={value!r}"
+            for key, value in self.describe().items()
+            if key != "name"
         )
         return f"{type(self).__name__}({fields})"

@@ -96,7 +96,11 @@ class SecondOrderDiffusionSync:
     ) -> None:
         self.graph = graph
         self.matrix = diffusion_matrix(graph, step=step)
-        self.beta = beta if beta is not None else optimal_second_order_beta(graph, step=step)
+        self.beta = (
+            beta
+            if beta is not None
+            else optimal_second_order_beta(graph, step=step)
+        )
         if not 0.0 < self.beta < 2.0:
             raise AlgorithmError(f"beta must be in (0, 2), got {self.beta}")
 

@@ -71,7 +71,9 @@ class PotentialDecomposition:
         }
 
 
-def decompose(values: "Sequence[float]", partition: Partition) -> PotentialDecomposition:
+def decompose(
+    values: "Sequence[float]", partition: Partition
+) -> PotentialDecomposition:
     """Compute the exact potential decomposition of ``values``."""
     array = np.asarray(values, dtype=np.float64)
     n = partition.graph.n_vertices

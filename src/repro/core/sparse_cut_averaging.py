@@ -146,7 +146,9 @@ class SparseCutAveraging:
 
     def averaging_time(
         self,
-        initial_values: "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]",
+        initial_values: (
+            "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]"
+        ),
         *,
         n_replicates: int = 8,
         seed: "int | None" = None,

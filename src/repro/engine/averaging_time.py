@@ -154,7 +154,9 @@ def crossing_sample(
 def estimate_averaging_time(
     graph: Graph,
     algorithm_factory: "Callable[[], GossipAlgorithm]",
-    initial_values: "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]",
+    initial_values: (
+        "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]"
+    ),
     *,
     n_replicates: int = 8,
     seed: "int | None" = None,
@@ -227,7 +229,9 @@ def estimate_averaging_time(
 def epsilon_averaging_time(
     graph: Graph,
     algorithm_factory: "Callable[[], GossipAlgorithm]",
-    initial_values: "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]",
+    initial_values: (
+        "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]"
+    ),
     epsilon: float,
     *,
     n_replicates: int = 8,

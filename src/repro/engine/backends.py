@@ -32,6 +32,19 @@ algorithms all pickle; the usual culprit is a lambda or closure used as
 factories in :mod:`repro.clocks`) instead.  ``SerialBackend`` imposes no
 such restriction.
 
+**Shared-state shipping.**  A sweep batch repeats the same immutable
+per-configuration objects (graph, factories, workload) across many
+replicates; pickling them into every :class:`ReplicateSpec` makes IPC
+cost grow as O(replicates x graph size).  :meth:`ExecutionBackend
+.execute_shared` takes *slim* specs whose heavy fields are
+:class:`SharedStateRef` placeholders plus one mapping of the referenced
+payloads; :class:`ProcessPoolBackend` ships that mapping **once per
+worker** through the executor ``initializer`` and resolves the
+placeholders worker-side, while the default implementation (serial and
+any custom backend) resolves them in-process against the very same
+objects — so results stay bit-identical whether state is shipped,
+inlined, or never leaves the process.
+
 Backend selection: pass an :class:`ExecutionBackend`, the strings
 ``"serial"``/``"process"``, or just ``n_workers`` to
 :func:`resolve_backend`; with neither, the ``REPRO_WORKERS`` environment
@@ -43,11 +56,12 @@ from __future__ import annotations
 
 import abc
 import contextlib
+import hashlib
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -102,6 +116,70 @@ class ReplicateSpec:
     run_kwargs: "Mapping[str, Any]" = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class SharedStateRef:
+    """Placeholder for a value shipped separately from the spec.
+
+    A slim :class:`ReplicateSpec` carries refs in its heavy fields
+    (graph, factories, workload); :func:`resolve_replicate_spec` swaps
+    them for ``lookup[key][item]`` (or ``lookup[key]`` when ``item`` is
+    ``None``) before execution.  Refs are tiny and always picklable, so
+    a sweep's per-replicate IPC payload shrinks to (seed, run kwargs).
+    """
+
+    key: str
+    item: "str | None" = None
+
+
+#: The ReplicateSpec fields a SharedStateRef may stand in for.
+_SHARED_FIELDS = ("graph", "algorithm_factory", "initial_values", "clock_factory")
+
+
+def spec_has_refs(spec: ReplicateSpec) -> bool:
+    """True when any heavy field of ``spec`` is a :class:`SharedStateRef`."""
+    return any(
+        isinstance(getattr(spec, name), SharedStateRef)
+        for name in _SHARED_FIELDS
+    )
+
+
+def resolve_replicate_spec(
+    spec: ReplicateSpec, lookup: "Mapping[str, Any]"
+) -> ReplicateSpec:
+    """Swap a slim spec's :class:`SharedStateRef` fields for their payloads.
+
+    Specs without refs are returned unchanged (same object), so resolving
+    is free on the inline path.  Resolution against the caller's own
+    mapping returns the *same* payload objects a non-shared spec would
+    have carried — which is what makes shared and inline execution
+    bit-identical by construction.
+    """
+    updates = {}
+    for name in _SHARED_FIELDS:
+        value = getattr(spec, name)
+        if not isinstance(value, SharedStateRef):
+            continue
+        try:
+            payload = lookup[value.key]
+        except KeyError:
+            raise SimulationError(
+                f"replicate spec references shared state {value.key!r} "
+                "which is not in the installed mapping; pass the same "
+                "shared_state the specs were built against"
+            ) from None
+        if value.item is not None:
+            try:
+                payload = payload[value.item]
+            except (KeyError, TypeError, IndexError):
+                raise SimulationError(
+                    f"shared state {value.key!r} has no item {value.item!r}"
+                ) from None
+        updates[name] = payload
+    if not updates:
+        return spec
+    return replace(spec, **updates)
+
+
 def execute_replicate(spec: ReplicateSpec) -> RunResult:
     """Run one replicate from its spec (the shared backend work function).
 
@@ -115,6 +193,12 @@ def execute_replicate(spec: ReplicateSpec) -> RunResult:
     e.g. comparing backends on one ``build_specs`` output — must stay
     bit-identical.
     """
+    if spec_has_refs(spec):
+        raise SimulationError(
+            "replicate spec still carries SharedStateRef placeholders; "
+            "run it through ExecutionBackend.execute_shared (or resolve "
+            "it with resolve_replicate_spec) instead of execute()"
+        )
     clock_seq, workload_seq, algorithm_seq = (
         derive_child(spec.seed_sequence, child) for child in range(3)
     )
@@ -159,6 +243,25 @@ class ExecutionBackend(abc.ABC):
     def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
         """Run every spec and return results in submission order."""
 
+    def execute_shared(
+        self,
+        specs: "Sequence[ReplicateSpec]",
+        shared_state: "Mapping[str, Any]",
+    ) -> "list[RunResult]":
+        """Run slim specs whose :class:`SharedStateRef` fields resolve
+        against ``shared_state``.
+
+        The default implementation resolves the refs in-process — to the
+        very objects the caller put in the mapping — and delegates to
+        :meth:`execute`, so serial execution and any custom backend get
+        shared-state support for free with trivially bit-identical
+        results.  :class:`ProcessPoolBackend` overrides this to ship the
+        mapping once per worker instead of once per replicate.
+        """
+        return self.execute(
+            [resolve_replicate_spec(spec, shared_state) for spec in specs]
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -172,6 +275,28 @@ class SerialBackend(ExecutionBackend):
         return [execute_replicate(spec) for spec in specs]
 
 
+#: Worker-process registry for shared state installed by the executor
+#: initializer (:func:`_install_worker_shared_state`).  Empty in the
+#: parent process; a worker fills it exactly once, at spawn.
+_WORKER_SHARED_STATE: "dict[str, Any]" = {}
+
+
+def _install_worker_shared_state(blob: bytes) -> None:
+    """Executor initializer: unpack the shared-state mapping in a worker.
+
+    Runs once per worker process, so each distinct payload crosses the
+    process boundary at most once per worker no matter how many
+    replicates reference it.
+    """
+    _WORKER_SHARED_STATE.clear()
+    _WORKER_SHARED_STATE.update(pickle.loads(blob))
+
+
+def _execute_shared_replicate(spec: ReplicateSpec) -> RunResult:
+    """Worker task for slim specs: resolve refs, then run as usual."""
+    return execute_replicate(resolve_replicate_spec(spec, _WORKER_SHARED_STATE))
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Fan replicates out over a process pool.
 
@@ -179,12 +304,16 @@ class ProcessPoolBackend(ExecutionBackend):
     order, so output is bit-identical to :class:`SerialBackend` for the
     same root seed (see the module docstring's reproducibility guarantee).
 
-    Each spec carries its own copy of the shared state (graph, factories,
-    run kwargs), so IPC cost grows as O(replicates x graph size).  That
-    is noise against multi-second replicates at the paper's scales; if a
-    future backend fans out orders of magnitude wider, ship the shared
-    state once per worker via the executor's ``initializer`` and keep
-    only ``(index, seed_sequence)`` per task.
+    On the plain :meth:`execute` path each spec carries its own copy of
+    the shared state (graph, factories, run kwargs), so IPC cost grows
+    as O(replicates x graph size) — noise against multi-second
+    replicates, but real at sweep fan-outs.  :meth:`execute_shared`
+    removes it: the caller's shared-state mapping is pickled **once**,
+    installed in every worker through the executor ``initializer``, and
+    per-task payloads shrink to ``(index, seed_sequence, run_kwargs)``
+    plus tiny :class:`SharedStateRef` placeholders.  Installing a new
+    mapping recreates the pool (the initializer only runs at worker
+    spawn); within one sweep the mapping is stable, so that happens once.
 
     Parameters
     ----------
@@ -207,20 +336,21 @@ class ProcessPoolBackend(ExecutionBackend):
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         if n_workers < 1:
-            raise SimulationError(
-                f"n_workers must be positive, got {n_workers}"
-            )
+            raise SimulationError(f"n_workers must be positive, got {n_workers}")
         self.n_workers = int(n_workers)
         self._mp_context = mp_context
         self._pool: "ProcessPoolExecutor | None" = None
+        #: The mapping currently installed in the pool's workers (strong
+        #: reference: keeps the identity fast-path in _ensure_shared_pool
+        #: valid) and its content digest.  None = pool has no state.
+        self._installed_state: "Mapping[str, Any] | None" = None
+        self._installed_digest: "str | None" = None
+        #: How many times a pool was (re)created with shared state — the
+        #: regression suite asserts a whole sweep costs exactly one.
+        self.shared_installs = 0
 
-    def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
-        if not specs:
-            return []
-        if self.n_workers == 1 or len(specs) == 1:
-            # A pool of one buys nothing; the serial path is identical
-            # by construction (same execute_replicate, same seeds).
-            return [execute_replicate(spec) for spec in specs]
+    @staticmethod
+    def _check_no_recorder(specs: "Sequence[ReplicateSpec]") -> None:
         for spec in specs:
             if spec.run_kwargs.get("recorder") is not None:
                 # A recorder is caller-side mutable state; a worker's
@@ -232,6 +362,15 @@ class ProcessPoolBackend(ExecutionBackend):
                     "recorder object; run with the serial backend "
                     "(n_workers=1) to trace replicates"
                 )
+
+    def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
+        if not specs:
+            return []
+        if self.n_workers == 1 or len(specs) == 1:
+            # A pool of one buys nothing; the serial path is identical
+            # by construction (same execute_replicate, same seeds).
+            return [execute_replicate(spec) for spec in specs]
+        self._check_no_recorder(specs)
         # Probe picklability once per distinct configuration: replicates
         # of one configuration share their graph/factory objects, but a
         # sweep batch mixes configurations and any one of them can carry
@@ -265,11 +404,89 @@ class ProcessPoolBackend(ExecutionBackend):
                 "was killed (OOM?) or crashed during unpickling"
             ) from exc
 
+    def execute_shared(
+        self,
+        specs: "Sequence[ReplicateSpec]",
+        shared_state: "Mapping[str, Any]",
+    ) -> "list[RunResult]":
+        if not specs:
+            return []
+        if self.n_workers == 1 or len(specs) == 1:
+            # Same serial short-circuit as execute(): resolution against
+            # the caller's mapping yields the caller's own objects.
+            return [
+                execute_replicate(resolve_replicate_spec(spec, shared_state))
+                for spec in specs
+            ]
+        self._check_no_recorder(specs)
+        # Same fail-fast probe as execute().  A slim spec's heavy fields
+        # are tiny refs, but a batch may mix in ref-free specs, and any
+        # spec's run_kwargs can smuggle in a lambda/closure — so the
+        # dedup key covers both.
+        seen: "set[tuple[int, ...]]" = set()
+        for spec in specs:
+            key = (
+                id(spec.graph),
+                id(spec.algorithm_factory),
+                id(spec.initial_values),
+                id(spec.clock_factory),
+                *sorted(map(id, spec.run_kwargs.values())),
+            )
+            if key not in seen:
+                seen.add(key)
+                self._check_picklable(spec)
+        self._ensure_shared_pool(shared_state)
+        assert self._pool is not None
+        try:
+            return list(self._pool.map(_execute_shared_replicate, specs))
+        except BrokenProcessPool as exc:
+            self.shutdown()
+            raise SimulationError(
+                f"process pool died executing replicates ({exc}); a worker "
+                "was killed (OOM?) or crashed during unpickling"
+            ) from exc
+
+    def _ensure_shared_pool(self, shared_state: "Mapping[str, Any]") -> None:
+        """Make the worker pool carry exactly ``shared_state``.
+
+        Identity fast-path first (a sweep passes the same mapping object
+        every round), then a content digest, so an equal-but-distinct
+        mapping never forces a pool restart.  Only a genuinely new
+        mapping pays the pickle + worker-respawn cost — once per sweep.
+        """
+        if self._pool is not None and shared_state is self._installed_state:
+            return
+        try:
+            blob = pickle.dumps(dict(shared_state), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise SimulationError(
+                "shared state cannot be pickled for process execution "
+                f"({exc}); use module-level callables, functools.partial, "
+                "or repro.engine.backends.AlgorithmFactory instead of "
+                "lambdas/closures, or fall back to the serial backend"
+            ) from exc
+        digest = hashlib.sha256(blob).hexdigest()
+        if self._pool is not None and digest == self._installed_digest:
+            self._installed_state = shared_state
+            return
+        self.shutdown()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=self._mp_context,  # type: ignore[arg-type]
+            initializer=_install_worker_shared_state,
+            initargs=(blob,),
+        )
+        self._installed_state = shared_state
+        self._installed_digest = digest
+        self.shared_installs += 1
+
     def shutdown(self) -> None:
         """Release the worker pool (a later execute() recreates it)."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        self._installed_state = None
+        self._installed_digest = None
 
     def __del__(self) -> None:
         # An abandoned backend's executor would otherwise linger until
@@ -310,7 +527,13 @@ class AlgorithmFactory:
     'vanilla'
     """
 
-    def __init__(self, target: "Callable[..., GossipAlgorithm]", /, *args: Any, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        target: "Callable[..., GossipAlgorithm]",
+        /,
+        *args: Any,
+        **kwargs: Any,
+    ) -> None:
         if not callable(target):
             raise SimulationError(
                 f"AlgorithmFactory target must be callable, got {target!r}"
@@ -341,9 +564,7 @@ def default_n_workers() -> int:
             f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
         ) from None
     if workers < 1:
-        raise SimulationError(
-            f"{WORKERS_ENV_VAR} must be positive, got {workers}"
-        )
+        raise SimulationError(f"{WORKERS_ENV_VAR} must be positive, got {workers}")
     return workers
 
 
@@ -392,9 +613,7 @@ def scoped_shared_backends():
     try:
         yield
     finally:
-        shutdown_shared_backends(
-            only=set(_SHARED_PROCESS_BACKENDS) - before
-        )
+        shutdown_shared_backends(only=set(_SHARED_PROCESS_BACKENDS) - before)
 
 
 def resolve_backend(

@@ -15,7 +15,9 @@ def variance_of(values: "Sequence[float]") -> float:
     return float(np.var(array))
 
 
-def variance_ratio(values: "Sequence[float]", initial_values: "Sequence[float]") -> float:
+def variance_ratio(
+    values: "Sequence[float]", initial_values: "Sequence[float]"
+) -> float:
     """``var(values) / var(initial_values)`` (inf if the start had var 0)."""
     initial = variance_of(initial_values)
     current = variance_of(values)

@@ -22,6 +22,7 @@ from repro.algorithms.base import GossipAlgorithm
 from repro.engine.backends import (
     ExecutionBackend,
     ReplicateSpec,
+    SharedStateRef,
     resolve_backend,
 )
 from repro.engine.results import RunResult
@@ -54,9 +55,7 @@ class ReplicateSummary:
             n_replicates=len(results),
             mean_duration=float(np.mean([r.duration for r in results])),
             mean_events=float(np.mean([r.n_events for r in results])),
-            mean_variance_ratio=float(
-                np.mean([r.variance_ratio for r in results])
-            ),
+            mean_variance_ratio=float(np.mean([r.variance_ratio for r in results])),
             max_sum_drift=float(max(r.sum_drift for r in results)),
         )
 
@@ -109,7 +108,9 @@ class MonteCarloRunner:
         self,
         graph: Graph,
         algorithm_factory: "Callable[[], GossipAlgorithm]",
-        initial_values: "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]",
+        initial_values: (
+            "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]"
+        ),
         *,
         seed: "int | np.random.SeedSequence | None" = None,
         clock_factory: "Callable[[np.random.Generator], object] | None" = None,
@@ -123,8 +124,28 @@ class MonteCarloRunner:
         self.clock_factory = clock_factory
         self.backend = resolve_backend(backend, n_workers=n_workers)
 
+    def shared_state(self) -> "dict[str, object]":
+        """The configuration's immutable payload for shared-state shipping.
+
+        Exactly the heavy fields every replicate of this configuration
+        repeats — what ``build_specs(..., shared_key=...)`` replaces with
+        :class:`~repro.engine.backends.SharedStateRef` placeholders and
+        ``ExecutionBackend.execute_shared`` installs once per worker.
+        """
+        return {
+            "graph": self.graph,
+            "algorithm_factory": self.algorithm_factory,
+            "initial_values": self.initial_values,
+            "clock_factory": self.clock_factory,
+        }
+
     def build_specs(
-        self, n_replicates: int, *, start: int = 0, **run_kwargs: object
+        self,
+        n_replicates: int,
+        *,
+        start: int = 0,
+        shared_key: "str | None" = None,
+        **run_kwargs: object,
     ) -> "list[ReplicateSpec]":
         """Derive the per-replicate work orders (seed bookkeeping lives here).
 
@@ -136,11 +157,16 @@ class MonteCarloRunner:
         had in one big ``build_specs(s+k)`` call — the sweep scheduler
         uses this to grow a configuration's replicate set in rounds
         without perturbing any existing stream.
+
+        ``shared_key`` builds *slim* specs: the heavy per-configuration
+        fields become :class:`~repro.engine.backends.SharedStateRef`
+        placeholders into a mapping entry ``shared_key`` whose payload is
+        :meth:`shared_state` — for backends that ship the configuration
+        once per worker instead of once per replicate.  Seed derivation
+        is identical either way.
         """
         if n_replicates < 1:
-            raise SimulationError(
-                f"n_replicates must be positive, got {n_replicates}"
-            )
+            raise SimulationError(f"n_replicates must be positive, got {n_replicates}")
         if start < 0:
             raise SimulationError(f"start must be non-negative, got {start}")
         if isinstance(self.seed, np.random.SeedSequence):
@@ -154,17 +180,33 @@ class MonteCarloRunner:
             root = np.random.SeedSequence(
                 entropy=self.seed, spawn_key=(_REPLICATE_SPAWN_NAMESPACE,)
             )
+        if shared_key is None:
+            graph = self.graph
+            algorithm_factory = self.algorithm_factory
+            initial_values = self.initial_values
+            clock_factory = self.clock_factory
+        else:
+            graph = SharedStateRef(shared_key, "graph")
+            algorithm_factory = SharedStateRef(shared_key, "algorithm_factory")
+            initial_values = SharedStateRef(shared_key, "initial_values")
+            # A None clock keeps meaning "default Poisson model" without
+            # a pointless round-trip through the registry.
+            clock_factory = (
+                None
+                if self.clock_factory is None
+                else SharedStateRef(shared_key, "clock_factory")
+            )
         return [
             ReplicateSpec(
                 index=index,
-                graph=self.graph,
-                algorithm_factory=self.algorithm_factory,
-                initial_values=self.initial_values,
+                graph=graph,
+                algorithm_factory=algorithm_factory,
+                initial_values=initial_values,
                 # derive_child(root, i) is exactly the child spawn() would
                 # yield at i, so windows [0, n) and [s, s+k) tile the same
                 # stream assignment without mutating root's child counter.
                 seed_sequence=derive_child(root, index),
-                clock_factory=self.clock_factory,
+                clock_factory=clock_factory,
                 run_kwargs=dict(run_kwargs),
             )
             for index in range(start, start + n_replicates)

@@ -33,6 +33,17 @@ are excluded from the quantile and its CI but still count toward the
 cap, so a pathological configuration terminates instead of stalling the
 loop.
 
+**Shared-state shipping.**  All replicates of one configuration repeat
+the same immutable objects (graph, factories, workload).  By default the
+runner builds *slim* replicate specs whose heavy fields are
+:class:`~repro.engine.backends.SharedStateRef` placeholders and hands
+the whole grid's state mapping to
+:meth:`~repro.engine.backends.ExecutionBackend.execute_shared` — the
+process backend installs it once per worker via the executor
+initializer, the serial backend resolves in-process against the very
+same objects.  Transport only: the reported result is bit-identical with
+shipping on or off (``share_state=False`` restores inline pickling).
+
 **Checkpoints.**  :meth:`SweepResult.to_dict` round-trips through JSON
 (:meth:`SweepResult.from_dict`) with non-finite samples encoded
 portably; :class:`SweepRunner` can write the partial result after every
@@ -494,6 +505,18 @@ class PointResult:
         return len(self.samples)
 
     @property
+    def is_censored(self) -> bool:
+        """True when the quantile itself is not finite.
+
+        ``inf`` means the quantile landed on censored replicates; ``nan``
+        means every valid replicate diverged.  Either way the estimate is
+        not a usable averaging time — the sweep analogue of
+        ``AveragingTimeEstimate.is_censored`` (``not isfinite``), which
+        the report functions read to label cells "censored".
+        """
+        return not math.isfinite(self.estimate)
+
+    @property
     def ci_width(self) -> float:
         """Absolute CI width (inf when either end is non-finite)."""
         return self.ci_high - self.ci_low
@@ -669,6 +692,14 @@ class SweepRunner:
         Retain each settled configuration's raw :class:`RunResult` list
         (trimmed to the settled prefix) in :attr:`run_results` — the
         determinism suite compares them field-by-field.
+    share_state:
+        Ship each configuration's immutable state (graph, factories,
+        workload) through :meth:`ExecutionBackend.execute_shared` — once
+        per worker via the executor initializer on the process backend —
+        instead of pickling it into every replicate spec (default).
+        Purely a transport choice: results are bit-identical either way
+        (the determinism suite pins this), so disable it only to measure
+        the shipping itself.
     """
 
     def __init__(
@@ -681,6 +712,7 @@ class SweepRunner:
         n_workers: "int | None" = None,
         checkpoint_path: "str | Path | None" = None,
         keep_run_results: bool = False,
+        share_state: bool = True,
     ) -> None:
         self.spec = spec
         self.seed = seed
@@ -690,6 +722,7 @@ class SweepRunner:
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
         self.keep_run_results = keep_run_results
+        self.share_state = share_state
         #: Raw results per settled point index (when ``keep_run_results``).
         self.run_results: "dict[int, list[RunResult]]" = {}
         #: Scheduling telemetry from the last :meth:`run` (wall-clock
@@ -710,6 +743,11 @@ class SweepRunner:
     def point_sequence(self, point_index: int) -> np.random.SeedSequence:
         """The seed namespace of configuration ``point_index``."""
         return derive_child(self._root_sequence(), point_index)
+
+    @staticmethod
+    def _state_key(point_index: int) -> str:
+        """Shared-state mapping key of configuration ``point_index``."""
+        return f"point:{point_index}"
 
     # -- checkpointing ---------------------------------------------------
 
@@ -861,6 +899,15 @@ class SweepRunner:
             for point in points
             if point.index not in done
         ]
+        # One mapping object for the whole sweep (identity-stable, so the
+        # process backend installs it in its workers exactly once): every
+        # unsettled configuration's immutable state, keyed by point index.
+        shared_state: "dict[str, Any]" = {
+            self._state_key(state.point.index): state.runner.shared_state()
+            for state in states
+        }
+        if self.share_state:
+            self.stats["shared_state_points"] = len(shared_state)
         pending = list(states)
         while pending:
             batch = []
@@ -870,9 +917,7 @@ class SweepRunner:
                     want = self.budget.min_replicates
                 else:
                     want = self.budget.round_size
-                want = min(
-                    want, self.budget.max_replicates - state.n_scheduled
-                )
+                want = min(want, self.budget.max_replicates - state.n_scheduled)
                 if want < 1:
                     # Unreachable under the stopping rule (a point at the
                     # cap settles immediately), but never build an empty
@@ -881,13 +926,21 @@ class SweepRunner:
                 specs = state.runner.build_specs(
                     want,
                     start=state.n_scheduled,
+                    shared_key=(
+                        self._state_key(state.point.index)
+                        if self.share_state
+                        else None
+                    ),
                     **self._run_kwargs(state.config, state.monotone),
                 )
                 state.n_scheduled += want
                 for spec in specs:
                     batch.append(spec)
                     owners.append((state, spec.index))
-            results = self.backend.execute(batch)
+            if self.share_state:
+                results = self.backend.execute_shared(batch, shared_state)
+            else:
+                results = self.backend.execute(batch)
             if len(results) != len(batch):
                 raise SweepError(
                     f"backend {self.backend.name!r} returned {len(results)} "
@@ -937,6 +990,7 @@ def run_sweep(
     backend: "ExecutionBackend | str | None" = None,
     n_workers: "int | None" = None,
     checkpoint_path: "str | Path | None" = None,
+    share_state: bool = True,
 ) -> SweepResult:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
@@ -946,4 +1000,5 @@ def run_sweep(
         backend=backend,
         n_workers=n_workers,
         checkpoint_path=checkpoint_path,
+        share_state=share_state,
     ).run()

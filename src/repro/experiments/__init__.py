@@ -8,7 +8,11 @@ from repro.experiments.workloads import (
     make_workload,
     spike,
 )
-from repro.experiments.harness import ExperimentReport, ShapeCheck, measure_averaging_time
+from repro.experiments.harness import (
+    ExperimentReport,
+    ShapeCheck,
+    measure_averaging_time,
+)
 from repro.experiments.specs import EXPERIMENTS, get_experiment, run_experiment
 from repro.experiments.specs_sweeps import (
     SWEEPS,

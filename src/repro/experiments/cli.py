@@ -17,12 +17,18 @@ bit-identical to serial for the same seed — see
     python -m repro.experiments.cli run E3 --workers 4
 
 Run a whole parameter sweep through the sharded scheduler (every
-configuration x replicate work unit shares one worker pool; results are
-bit-identical across backends, worker counts and round sizes — see
-:mod:`repro.engine.sweeps`)::
+configuration x replicate work unit shares one worker pool and each
+configuration's graph ships to every worker once; results are
+bit-identical across backends, worker counts, round sizes and shipping
+modes — see :mod:`repro.engine.sweeps`)::
 
     python -m repro.experiments.cli sweep E3 --axis n=64,128,256 \
         --workers 4 --target-ci 0.05 --out results/
+
+All grid experiments are declared as sweeps — E1/E2/E5/E10 run through
+the same scheduler the E1/E2/E5/E10 reports aggregate::
+
+    python -m repro.experiments.cli sweep E10 --scale smoke --workers 2
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from repro.errors import ReproError, SimulationError
 from repro.experiments.harness import SCALES
 from repro.experiments.reporting import (
     render_summary,
+    render_sweep_stats,
     render_sweep_table,
     save_report,
     save_sweep_result,
@@ -135,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON checkpoint written after each round; an existing file "
         "resumes the sweep, skipping settled configurations",
     )
+    sweep.add_argument(
+        "--no-shared-state", action="store_true",
+        help="pickle each configuration's state into every replicate spec "
+        "instead of shipping it once per worker (measurement/debugging "
+        "only; results are bit-identical either way)",
+    )
 
     subparsers.add_parser("list", help="list available experiments")
     return parser
@@ -178,16 +191,12 @@ def _run_sweep_command(args) -> int:
             budget=budget,
             n_workers=args.workers,
             checkpoint_path=args.checkpoint,
+            share_state=not args.no_shared_state,
         )
         result = runner.run()
     print(render_sweep_table(result).render())
     print()
-    print(
-        f"scheduler: {runner.stats['rounds']} rounds, "
-        f"{runner.stats['replicates_scheduled']} replicates scheduled "
-        f"({result.total_replicates} reported), "
-        f"{runner.stats['points_resumed']} points resumed"
-    )
+    print(render_sweep_stats(result, runner.stats))
     if args.out:
         path = save_sweep_result(result, args.out)
         print(f"saved {path}")

@@ -122,7 +122,9 @@ class ExperimentReport:
 def measure_averaging_time(
     graph: Graph,
     algorithm_factory: "Callable[[], GossipAlgorithm]",
-    initial_values: "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]",
+    initial_values: (
+        "Sequence[float] | Callable[[np.random.Generator], Sequence[float]]"
+    ),
     *,
     n_replicates: int,
     seed: int,

@@ -11,7 +11,9 @@ from repro.util.serialization import to_json_file
 from repro.util.tables import Table
 
 
-def save_report(report: ExperimentReport, directory: "str | Path") -> "tuple[Path, Path]":
+def save_report(
+    report: ExperimentReport, directory: "str | Path"
+) -> "tuple[Path, Path]":
     """Write ``<id>.txt`` (rendered) and ``<id>.json`` (structured).
 
     Returns the two paths.  The JSON artifact is what EXPERIMENTS.md's
@@ -50,6 +52,29 @@ def render_sweep_table(result: SweepResult) -> Table:
                point.n_censored, point.n_diverged, flags]
         )
     return table
+
+
+def render_sweep_stats(
+    result: SweepResult, stats: "dict[str, int]"
+) -> str:
+    """One-line scheduler telemetry (rounds, surplus, resume, shipping).
+
+    ``stats`` is :attr:`~repro.engine.sweeps.SweepRunner.stats` — the
+    wall-clock facts deliberately kept out of the bit-identical
+    :class:`SweepResult`.
+    """
+    line = (
+        f"scheduler: {stats.get('rounds', 0)} rounds, "
+        f"{stats.get('replicates_scheduled', 0)} replicates scheduled "
+        f"({result.total_replicates} reported), "
+        f"{stats.get('points_resumed', 0)} points resumed"
+    )
+    if "shared_state_points" in stats:
+        line += (
+            f"; shared-state shipping: {stats['shared_state_points']} "
+            "configuration payload(s) (at most once per worker)"
+        )
+    return line
 
 
 def save_sweep_result(result: SweepResult, directory: "str | Path") -> Path:

@@ -75,7 +75,9 @@ def _trajectory_increments(
 # ----------------------------------------------------------------------
 
 
-def e6_stochastic_dominance(scale: "str | None" = None, seed: int = 23) -> ExperimentReport:
+def e6_stochastic_dominance(
+    scale: "str | None" = None, seed: int = 23
+) -> ExperimentReport:
     """Trajectory log-variance walk vs the paper's dominating walk."""
     scale = resolve_scale(scale)
     n = pick(scale, smoke=16, default=32, full=64)
@@ -232,7 +234,9 @@ def e6_stochastic_dominance(scale: "str | None" = None, seed: int = 23) -> Exper
 # ----------------------------------------------------------------------
 
 
-def e7_epoch_contraction(scale: "str | None" = None, seed: int = 29) -> ExperimentReport:
+def e7_epoch_contraction(
+    scale: "str | None" = None, seed: int = 29
+) -> ExperimentReport:
     """Measure sigma/mu/variance across epochs of Algorithm A.
 
     Epoch 1 (from an arbitrary start) shows the documented *transient*:

@@ -28,7 +28,7 @@ from repro.experiments.specs_scaling import (
     nonconvex_budget,
 )
 from repro.experiments.workloads import cut_aligned
-from repro.graphs.composites import dumbbell_graph, two_grids
+from repro.graphs.composites import dumbbell_graph
 from repro.util.tables import Table
 
 
@@ -47,9 +47,11 @@ def e8_baselines(scale: "str | None" = None, seed: int = 31) -> ExperimentReport
     Algorithm A.  One synchronous round counts as one time unit (every
     edge ticks once per unit time in expectation; DESIGN.md section 2).
     """
+    from repro.experiments.specs_sweeps import REPORT_REPLICATES
+
     scale = resolve_scale(scale)
     n = pick(scale, smoke=48, default=64, full=128)
-    replicates = pick(scale, smoke=3, default=6, full=10)
+    replicates = REPORT_REPLICATES[scale]
 
     pair = dumbbell_graph(n)
     x0 = cut_aligned(pair.partition)
@@ -183,7 +185,6 @@ def e9_topologies(scale: "str | None" = None, seed: int = 37) -> ExperimentRepor
     family — that is the paper's actual claim.
     """
     scale = resolve_scale(scale)
-    replicates = pick(scale, smoke=3, default=6, full=10)
     # Family grid and instance parameters come from the E9 SweepSpec
     # declaration (specs_sweeps is the single source of truth for ported
     # grids); the pair construction is shared with the sweep builder.
@@ -191,9 +192,12 @@ def e9_topologies(scale: "str | None" = None, seed: int = 37) -> ExperimentRepor
         E9_FAMILIES,
         E9_GRID_DIMS,
         E9_HALF,
+        EXPANDER_DEGREE,
+        REPORT_REPLICATES,
         build_family_pair,
     )
 
+    replicates = REPORT_REPLICATES[scale]
     labels = {
         "clique": "clique",
         "expander": "expander (ambiguous zone)",
@@ -209,7 +213,7 @@ def e9_topologies(scale: "str | None" = None, seed: int = 37) -> ExperimentRepor
                 half=E9_HALF[scale],
                 grid_rows=rows,
                 grid_cols=cols,
-                degree=pick(scale, smoke=4, default=8, full=8),
+                degree=EXPANDER_DEGREE[scale],
                 seed=seed,
             ),
         )
@@ -289,14 +293,28 @@ def e10_epoch_constant(scale: "str | None" = None, seed: int = 41) -> Experiment
     mixing time fire the swap on unmixed endpoint values and convergence
     degrades or dies — the reason the paper needs ``C >> 1``.  On fast
     sides (expanders) larger C only wastes time linearly.
+
+    The C grid itself runs through the sweep scheduler (E10 SweepSpec in
+    ``specs_sweeps``); this function aggregates the resulting
+    :class:`SweepResult` and recomputes the epoch bookkeeping from the
+    shared pair constructor.
     """
     scale = resolve_scale(scale)
-    replicates = pick(scale, smoke=3, default=6, full=10)
-    constants = pick(
-        scale, smoke=[0.02, 3.0], default=[0.02, 0.2, 1.0, 3.0, 10.0],
-        full=[0.02, 0.2, 1.0, 3.0, 10.0, 30.0],
+    from repro.engine.sweeps import run_sweep
+    from repro.experiments.specs_sweeps import (
+        E10_CONSTANTS,
+        E10_GRID_DIMS,
+        build_epoch_grid_pair,
+        e10_sweep,
+        report_budget,
     )
-    grid_pair = two_grids(*pick(scale, smoke=(3, 3), default=(4, 6), full=(5, 8)))
+
+    constants = list(E10_CONSTANTS[scale])
+    rows, cols = E10_GRID_DIMS[scale]
+    grid_pair = build_epoch_grid_pair(grid_rows=rows, grid_cols=cols)
+    result = run_sweep(
+        e10_sweep(scale), seed=seed, budget=report_budget(scale)
+    )
 
     report = ExperimentReport(
         experiment_id="E10",
@@ -315,24 +333,14 @@ def e10_epoch_constant(scale: "str | None" = None, seed: int = 41) -> Experiment
     from repro.graphs.spectral import spectral_mixing_time
 
     tvan_sum = spectral_mixing_time(g1) + spectral_mixing_time(g2)
-    x0 = cut_aligned(grid_pair.partition)
     times: dict[float, float] = {}
     censored: dict[float, bool] = {}
-    for index, constant in enumerate(constants):
+    for constant in constants:
         epoch = epoch_length_ticks(grid_pair.partition, constant=constant)
-        factory, _ = _algorithm_a_factory(grid_pair, constant=constant)
-        budget = max(
-            nonconvex_budget(grid_pair, constant=max(constant, 3.0)),
-            convex_budget(grid_pair),
-        )
-        estimate = measure_averaging_time(
-            grid_pair.graph, factory, x0,
-            n_replicates=replicates, seed=seed + 10 * index,
-            max_time=budget, max_events=MAX_EVENTS,
-        )
-        times[constant] = estimate.estimate
-        censored[constant] = estimate.is_censored
-        cell = "censored" if estimate.is_censored else f"{estimate.estimate:.4g}"
+        point = result.point(constant=constant)
+        times[constant] = point.estimate
+        censored[constant] = point.is_censored
+        cell = "censored" if point.is_censored else f"{point.estimate:.4g}"
         table.add_row([constant, epoch, epoch / tvan_sum, cell])
     report.tables.append(table)
 

@@ -40,6 +40,7 @@ from repro.experiments.specs_scaling import (
     convex_budget,
     nonconvex_budget,
 )
+from repro.experiments.specs_sweeps import REPORT_REPLICATES
 from repro.experiments.workloads import cut_aligned
 from repro.graphs.clustering import chain_of_cliques, spectral_clusters
 from repro.graphs.composites import two_cliques
@@ -53,7 +54,9 @@ from repro.util.tables import Table
 # ----------------------------------------------------------------------
 
 
-def e11_geographic_gossip(scale: "str | None" = None, seed: int = 43) -> ExperimentReport:
+def e11_geographic_gossip(
+    scale: "str | None" = None, seed: int = 43
+) -> ExperimentReport:
     """Messages-to-accuracy: geographic rendezvous vs local gossip.
 
     [6]'s motivation: on random geometric graphs, local gossip needs
@@ -146,7 +149,7 @@ def e12_multi_cut(scale: "str | None" = None, seed: int = 47) -> ExperimentRepor
     clique_sizes = pick(scale, smoke=[8, 16], default=[16, 32, 64],
                         full=[16, 32, 64, 128])
     k = pick(scale, smoke=3, default=4, full=4)
-    replicates = pick(scale, smoke=3, default=6, full=10)
+    replicates = REPORT_REPLICATES[scale]
 
     report = ExperimentReport(
         experiment_id="E12",
@@ -235,11 +238,13 @@ def e12_multi_cut(scale: "str | None" = None, seed: int = 47) -> ExperimentRepor
 # ----------------------------------------------------------------------
 
 
-def e13_failure_injection(scale: "str | None" = None, seed: int = 53) -> ExperimentReport:
+def e13_failure_injection(
+    scale: "str | None" = None, seed: int = 53
+) -> ExperimentReport:
     """Algorithm A's single point of failure, and the failover fix."""
     scale = resolve_scale(scale)
     half = pick(scale, smoke=12, default=24, full=48)
-    replicates = pick(scale, smoke=3, default=6, full=10)
+    replicates = REPORT_REPLICATES[scale]
     death_time = 2.0
 
     pair = two_cliques(half, half, n_bridges=3)
@@ -376,7 +381,7 @@ def e14_rate_boost(scale: "str | None" = None, seed: int = 59) -> ExperimentRepo
     half = pick(scale, smoke=24, default=48, full=96)
     boosts = pick(scale, smoke=[1, 4, 64], default=[1, 4, 16, 64, 256],
                   full=[1, 4, 16, 64, 256])
-    replicates = pick(scale, smoke=3, default=6, full=10)
+    replicates = REPORT_REPLICATES[scale]
 
     pair = two_cliques(half, half, n_bridges=1)
     x0 = cut_aligned(pair.partition)

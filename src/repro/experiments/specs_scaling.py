@@ -7,9 +7,6 @@ same code serves integration tests and the benchmark suite.
 
 from __future__ import annotations
 
-import math
-
-from repro.algorithms.convex import ConvexGossip
 from repro.algorithms.nonconvex import NonConvexSparseCutGossip
 from repro.algorithms.vanilla import VanillaGossip
 from repro.analysis.bounds import theorem1_lower_bound, theorem2_upper_bound
@@ -18,11 +15,11 @@ from repro.engine.backends import AlgorithmFactory
 from repro.experiments.harness import (
     ExperimentReport,
     measure_averaging_time,
-    pick,
     resolve_scale,
 )
+from repro.engine.sweeps import run_sweep
 from repro.experiments.workloads import cut_aligned
-from repro.graphs.composites import BridgedPair, dumbbell_graph, two_expanders
+from repro.graphs.composites import BridgedPair, dumbbell_graph
 from repro.graphs.spectral import spectral_mixing_time
 from repro.util.ascii_plot import line_plot
 from repro.util.mathx import fit_power_law
@@ -66,17 +63,30 @@ def _algorithm_a_factory(pair: BridgedPair, *, constant: float = 3.0, gain="exac
 # ----------------------------------------------------------------------
 
 
-def e1_convex_lower_bound(scale: "str | None" = None, seed: int = 7) -> ExperimentReport:
-    """Convex algorithms on single-bridge expander pairs scale linearly."""
+def e1_convex_lower_bound(
+    scale: "str | None" = None, seed: int = 7
+) -> ExperimentReport:
+    """Convex algorithms on single-bridge expander pairs scale linearly.
+
+    The size x algorithm grid runs through the sweep scheduler (one
+    backend batch per round, shared-state shipping); this function only
+    aggregates the resulting :class:`SweepResult` — there is no second
+    estimator path to drift from.
+    """
     scale = resolve_scale(scale)
-    sizes = pick(
-        scale,
-        smoke=[24, 48],
-        default=[32, 64, 128, 256],
-        full=[64, 128, 256, 512],
+    from repro.experiments.specs_sweeps import (
+        E1_SIZES,
+        EXPANDER_DEGREE,
+        build_size_pair,
+        e1_sweep,
+        report_budget,
     )
-    degree = pick(scale, smoke=4, default=8, full=8)
-    replicates = pick(scale, smoke=3, default=6, full=10)
+
+    sizes = list(E1_SIZES[scale])
+    degree = EXPANDER_DEGREE[scale]
+    result = run_sweep(
+        e1_sweep(scale, seed=seed), seed=seed, budget=report_budget(scale)
+    )
 
     report = ExperimentReport(
         experiment_id="E1",
@@ -93,30 +103,18 @@ def e1_convex_lower_bound(scale: "str | None" = None, seed: int = 7) -> Experime
         title="E1: convex averaging time vs size (cut width 1)",
     )
     ns, vanilla_times, lazy_times, bounds = [], [], [], []
-    for index, half in enumerate(s // 2 for s in sizes):
-        pair = two_expanders(half, half, degree=degree, n_bridges=1, seed=seed + index)
-        x0 = cut_aligned(pair.partition)
-        budget = convex_budget(pair)
-        est_vanilla = measure_averaging_time(
-            pair.graph, VanillaGossip, x0,
-            n_replicates=replicates, seed=seed + 100 + index,
-            max_time=budget, max_events=MAX_EVENTS,
-        )
-        est_lazy = measure_averaging_time(
-            pair.graph, AlgorithmFactory(ConvexGossip, 0.75), x0,
-            n_replicates=replicates, seed=seed + 200 + index,
-            max_time=budget, max_events=MAX_EVENTS,
-        )
+    for n in sizes:
+        pair = build_size_pair(n, degree=degree, seed=seed)
+        est_vanilla = result.point(n=n, algorithm="vanilla").estimate
+        est_lazy = result.point(n=n, algorithm="lazy").estimate
         bound = theorem1_lower_bound(pair.partition)
-        n = pair.graph.n_vertices
         table.add_row(
             [n, pair.partition.n1, pair.partition.cut_size, bound,
-             est_vanilla.estimate, est_lazy.estimate,
-             est_vanilla.estimate / bound]
+             est_vanilla, est_lazy, est_vanilla / bound]
         )
-        ns.append(n)
-        vanilla_times.append(est_vanilla.estimate)
-        lazy_times.append(est_lazy.estimate)
+        ns.append(pair.graph.n_vertices)
+        vanilla_times.append(est_vanilla)
+        lazy_times.append(est_lazy)
         bounds.append(bound)
     report.tables.append(table)
     report.figures.append(
@@ -141,8 +139,14 @@ def e1_convex_lower_bound(scale: "str | None" = None, seed: int = 7) -> Experime
     report.add_check(
         "measured T_av respects the Theorem-1 bound",
         above,
-        f"min measured/bound = "
-        f"{min(t / b for t, b in zip(vanilla_times + lazy_times, bounds + bounds)):.2f}",
+        "min measured/bound = "
+        + format(
+            min(
+                t / b
+                for t, b in zip(vanilla_times + lazy_times, bounds + bounds)
+            ),
+            ".2f",
+        ),
     )
     if len(ns) >= 3:
         report.add_check(
@@ -158,17 +162,29 @@ def e1_convex_lower_bound(scale: "str | None" = None, seed: int = 7) -> Experime
 # ----------------------------------------------------------------------
 
 
-def e2_nonconvex_upper_bound(scale: "str | None" = None, seed: int = 11) -> ExperimentReport:
-    """Algorithm A on the same instances stays inside its envelope."""
+def e2_nonconvex_upper_bound(
+    scale: "str | None" = None, seed: int = 11
+) -> ExperimentReport:
+    """Algorithm A on the same instances stays inside its envelope.
+
+    Like E1, the size grid runs through the sweep scheduler and this
+    function aggregates the :class:`SweepResult` — bounds and epochs are
+    recomputed from the shared pair constructor, never re-measured.
+    """
     scale = resolve_scale(scale)
-    sizes = pick(
-        scale,
-        smoke=[24, 48],
-        default=[32, 64, 128, 256],
-        full=[64, 128, 256, 512],
+    from repro.experiments.specs_sweeps import (
+        E1_SIZES,
+        EXPANDER_DEGREE,
+        build_size_pair,
+        e2_sweep,
+        report_budget,
     )
-    degree = pick(scale, smoke=4, default=8, full=8)
-    replicates = pick(scale, smoke=3, default=6, full=10)
+
+    sizes = list(E1_SIZES[scale])
+    degree = EXPANDER_DEGREE[scale]
+    result = run_sweep(
+        e2_sweep(scale, seed=seed), seed=seed, budget=report_budget(scale)
+    )
 
     report = ExperimentReport(
         experiment_id="E2",
@@ -184,23 +200,17 @@ def e2_nonconvex_upper_bound(scale: "str | None" = None, seed: int = 11) -> Expe
         title="E2: non-convex averaging time vs size (cut width 1)",
     )
     ns, a_times, envelopes = [], [], []
-    for index, half in enumerate(s // 2 for s in sizes):
-        pair = two_expanders(half, half, degree=degree, n_bridges=1, seed=seed + index)
-        x0 = cut_aligned(pair.partition)
-        factory, epoch = _algorithm_a_factory(pair)
-        est = measure_averaging_time(
-            pair.graph, factory, x0,
-            n_replicates=replicates, seed=seed + 100 + index,
-            max_time=nonconvex_budget(pair), max_events=MAX_EVENTS,
-        )
+    for n in sizes:
+        pair = build_size_pair(n, degree=degree, seed=seed)
+        _, epoch = _algorithm_a_factory(pair)
+        estimate = result.point(n=n).estimate
         envelope = theorem2_upper_bound(pair.partition, constant=3.0)
-        n = pair.graph.n_vertices
         table.add_row(
-            [n, epoch, envelope, est.estimate,
-             (envelope + 2.0) / max(est.estimate, 1e-9)]
+            [n, epoch, envelope, estimate,
+             (envelope + 2.0) / max(estimate, 1e-9)]
         )
-        ns.append(n)
-        a_times.append(est.estimate)
+        ns.append(pair.graph.n_vertices)
+        a_times.append(estimate)
         envelopes.append(envelope)
     report.tables.append(table)
     report.figures.append(
@@ -236,7 +246,9 @@ def e2_nonconvex_upper_bound(scale: "str | None" = None, seed: int = 11) -> Expe
 # ----------------------------------------------------------------------
 
 
-def e3_dumbbell_headline(scale: "str | None" = None, seed: int = 13) -> ExperimentReport:
+def e3_dumbbell_headline(
+    scale: "str | None" = None, seed: int = 13
+) -> ExperimentReport:
     """Two cliques + one bridge: the paper's exponential separation.
 
     Sizes start at 32: below that, Algorithm A's first-swap latency (the
@@ -248,10 +260,10 @@ def e3_dumbbell_headline(scale: "str | None" = None, seed: int = 13) -> Experime
     scale = resolve_scale(scale)
     # The size grid is declared once, as the E3 SweepSpec's axis
     # (specs_sweeps is the single source of truth for ported grids).
-    from repro.experiments.specs_sweeps import E3_SIZES
+    from repro.experiments.specs_sweeps import E3_SIZES, REPORT_REPLICATES
 
     sizes = list(E3_SIZES[scale])
-    replicates = pick(scale, smoke=3, default=6, full=10)
+    replicates = REPORT_REPLICATES[scale]
 
     report = ExperimentReport(
         experiment_id="E3",
@@ -347,13 +359,15 @@ def e4_cut_width(scale: "str | None" = None, seed: int = 17) -> ExperimentReport
     from repro.experiments.specs_sweeps import (
         E4_HALF,
         E4_WIDTHS,
+        EXPANDER_DEGREE,
+        REPORT_REPLICATES,
         build_width_pair,
     )
 
     half = E4_HALF[scale]
-    degree = pick(scale, smoke=4, default=8, full=8)
+    degree = EXPANDER_DEGREE[scale]
     widths = list(E4_WIDTHS[scale])
-    replicates = pick(scale, smoke=3, default=6, full=10)
+    replicates = REPORT_REPLICATES[scale]
 
     report = ExperimentReport(
         experiment_id="E4",
@@ -431,7 +445,9 @@ def e4_cut_width(scale: "str | None" = None, seed: int = 17) -> ExperimentReport
 # ----------------------------------------------------------------------
 
 
-def e5_balance_gain_ablation(scale: "str | None" = None, seed: int = 19) -> ExperimentReport:
+def e5_balance_gain_ablation(
+    scale: "str | None" = None, seed: int = 19
+) -> ExperimentReport:
     """Exact vs paper-literal swap gain across partition balances.
 
     The paper's gain ``n1`` leaves a residual imbalance factor
@@ -441,15 +457,21 @@ def e5_balance_gain_ablation(scale: "str | None" = None, seed: int = 19) -> Expe
     F1), shown here as data.
     """
     scale = resolve_scale(scale)
-    total = pick(scale, smoke=32, default=128, full=256)
-    degree = pick(scale, smoke=4, default=8, full=8)
-    fractions = pick(
-        scale,
-        smoke=[0.25, 0.5],
-        default=[0.125, 0.25, 0.375, 0.5],
-        full=[0.125, 0.25, 0.375, 0.5],
+    from repro.experiments.specs_sweeps import (
+        E5_FRACTIONS,
+        E5_TOTAL,
+        EXPANDER_DEGREE,
+        build_balance_pair,
+        e5_sweep,
+        report_budget,
     )
-    replicates = pick(scale, smoke=3, default=6, full=10)
+
+    total = E5_TOTAL[scale]
+    degree = EXPANDER_DEGREE[scale]
+    fractions = list(E5_FRACTIONS[scale])
+    result = run_sweep(
+        e5_sweep(scale, seed=seed), seed=seed, budget=report_budget(scale)
+    )
 
     report = ExperimentReport(
         experiment_id="E5",
@@ -469,25 +491,12 @@ def e5_balance_gain_ablation(scale: "str | None" = None, seed: int = 19) -> Expe
     exact_ok = True
     paper_failed_balanced = False
     paper_ok_unbalanced = True
-    for index, fraction in enumerate(fractions):
-        n1 = int(round(total * fraction))
-        n1 += n1 % 2  # keep n1 * degree even for the pairing model
-        n2 = total - n1
-        pair = two_expanders(n1, n2, degree=degree, n_bridges=1, seed=seed + index)
-        x0 = cut_aligned(pair.partition)
-        budget = nonconvex_budget(pair)
-        factory_exact, _ = _algorithm_a_factory(pair, gain="exact")
-        factory_paper, _ = _algorithm_a_factory(pair, gain="paper")
-        est_exact = measure_averaging_time(
-            pair.graph, factory_exact, x0,
-            n_replicates=replicates, seed=seed + 100 + index,
-            max_time=budget, max_events=MAX_EVENTS,
+    for fraction in fractions:
+        pair = build_balance_pair(
+            fraction, total=total, degree=degree, seed=seed
         )
-        est_paper = measure_averaging_time(
-            pair.graph, factory_paper, x0,
-            n_replicates=replicates, seed=seed + 200 + index,
-            max_time=budget, max_events=MAX_EVENTS,
-        )
+        est_exact = result.point(fraction=fraction, gain="exact")
+        est_paper = result.point(fraction=fraction, gain="paper")
         paper_cell = (
             "censored" if est_paper.is_censored else f"{est_paper.estimate:.3g}"
         )

@@ -1,26 +1,31 @@
-"""Sweep declarations: E3/E4/E9 grids as :class:`SweepSpec` objects.
+"""Sweep declarations: the paper's grid experiments as :class:`SweepSpec`.
 
-The scaling experiments are grids (size x algorithm, cut width x
-algorithm, family x algorithm) measured point by point; this module
-declares those grids once so the sweep scheduler
-(:mod:`repro.engine.sweeps`) can fan the **whole grid** out over one
-worker pool.  The per-scale grid values defined here are the single
-source of truth — the legacy report functions in
-:mod:`repro.experiments.specs_scaling` / ``specs_baselines`` read their
-sizes from the same tables, so the sweep path and the report path can
-never drift apart.
+Every grid-shaped claim — convex lower bound vs size (E1), non-convex
+upper bound vs size (E2), the dumbbell headline (E3), cut width (E4),
+balance/gain ablation (E5), topology families (E9) and the
+epoch-constant ablation (E10) — is declared here once so the sweep
+scheduler (:mod:`repro.engine.sweeps`) can fan the **whole grid** out
+over one worker pool.  The per-scale grid values defined here are the
+single source of truth — the report functions in
+:mod:`repro.experiments.specs_scaling` / ``specs_baselines`` consume
+:class:`~repro.engine.sweeps.SweepResult` aggregations of these same
+grids, so the sweep path and the report path cannot drift apart.
 
 Every builder is a module-level function returning a
 :class:`~repro.engine.sweeps.PointConfig` built from picklable pieces
 (:class:`~repro.engine.backends.AlgorithmFactory`, plain graphs), so
-sweep replicates fan out to worker processes unchanged.
+sweep replicates fan out to worker processes unchanged — and the
+runner's shared-state shipping can install each point's graph once per
+worker.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable
 
+from repro.algorithms.convex import ConvexGossip
 from repro.algorithms.vanilla import VanillaGossip
+from repro.engine.backends import AlgorithmFactory
 from repro.engine.sweeps import (
     PointConfig,
     ReplicateBudget,
@@ -28,7 +33,7 @@ from repro.engine.sweeps import (
     SweepSpec,
 )
 from repro.errors import ExperimentError
-from repro.experiments.harness import pick, resolve_scale
+from repro.experiments.harness import resolve_scale
 from repro.experiments.specs_scaling import (
     MAX_EVENTS,
     _algorithm_a_factory,
@@ -48,8 +53,31 @@ from repro.graphs.composites import (
 #: comparison is always convex baseline vs Algorithm A.
 ALGORITHMS = ("vanilla", "algorithm_a")
 
-# Per-scale grid values (single source of truth; the legacy report
-# functions read these same tables).
+# Per-scale grid values (single source of truth; the report functions
+# read these same tables).
+E1_SIZES = {
+    "smoke": (24, 48),
+    "default": (32, 64, 128, 256),
+    "full": (64, 128, 256, 512),
+}
+#: E1's algorithm axis: the two convex class-C members the report plots.
+E1_ALGORITHMS = ("vanilla", "lazy")
+#: Per-scale expander degree used by every expander-pair grid.
+EXPANDER_DEGREE = {"smoke": 4, "default": 8, "full": 8}
+E5_FRACTIONS = {
+    "smoke": (0.25, 0.5),
+    "default": (0.125, 0.25, 0.375, 0.5),
+    "full": (0.125, 0.25, 0.375, 0.5),
+}
+E5_TOTAL = {"smoke": 32, "default": 128, "full": 256}
+#: E5's gain axis: the documented deviation (DESIGN.md F1) vs the paper.
+E5_GAINS = ("exact", "paper")
+E10_CONSTANTS = {
+    "smoke": (0.02, 3.0),
+    "default": (0.02, 0.2, 1.0, 3.0, 10.0),
+    "full": (0.02, 0.2, 1.0, 3.0, 10.0, 30.0),
+}
+E10_GRID_DIMS = {"smoke": (3, 3), "default": (4, 6), "full": (5, 8)}
 E3_SIZES = {
     "smoke": (32, 48),
     "default": (32, 64, 128),
@@ -100,9 +128,124 @@ def _point_config(pair: BridgedPair, algorithm: str) -> PointConfig:
 # ----------------------------------------------------------------------
 
 
+def build_size_pair(n: int, *, degree: int, seed: int) -> BridgedPair:
+    """Construct one E1/E2 expander pair of total size ``n``, one bridge.
+
+    Shared by the E1/E2 sweep builders and their report functions — the
+    graph seed is keyed by ``n`` itself (not the grid position), so both
+    paths measure the same instance even under ``--axis`` overrides.
+    """
+    half = int(n) // 2
+    return two_expanders(
+        half, half, degree=int(degree), n_bridges=1,
+        seed=int(seed) + int(n),
+    )
+
+
+def e1_build_point(
+    *, n: int, algorithm: str, degree: int, seed: int
+) -> PointConfig:
+    """E1 convex-bound point: one class-C member on a single-bridge pair."""
+    pair = build_size_pair(n, degree=degree, seed=seed)
+    if algorithm == "vanilla":
+        factory: "Callable[..., Any]" = VanillaGossip
+    elif algorithm == "lazy":
+        factory = AlgorithmFactory(ConvexGossip, 0.75)
+    else:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; expected one of {E1_ALGORITHMS}"
+        )
+    return PointConfig(
+        graph=pair.graph,
+        algorithm_factory=factory,
+        initial_values=cut_aligned(pair.partition),
+        max_time=convex_budget(pair),
+        max_events=MAX_EVENTS,
+    )
+
+
+def e2_build_point(*, n: int, degree: int, seed: int) -> PointConfig:
+    """E2 envelope point: Algorithm A on a single-bridge pair of size ``n``.
+
+    E2 keeps its own graph seed (11, vs E1's 7 — the legacy report
+    functions' seeds), so the two experiments measure independently
+    drawn expander pairs of the same shape, not one shared instance.
+    """
+    pair = build_size_pair(n, degree=degree, seed=seed)
+    factory, _ = _algorithm_a_factory(pair)
+    return PointConfig(
+        graph=pair.graph,
+        algorithm_factory=factory,
+        initial_values=cut_aligned(pair.partition),
+        max_time=nonconvex_budget(pair),
+        max_events=MAX_EVENTS,
+    )
+
+
 def e3_build_point(*, n: int, algorithm: str) -> PointConfig:
     """E3 dumbbell headline point: two n/2-cliques joined by one edge."""
     return _point_config(dumbbell_graph(int(n)), algorithm)
+
+
+def build_balance_pair(
+    fraction: float, *, total: int, degree: int, seed: int
+) -> BridgedPair:
+    """Construct one E5 pair with ``n1 ~ fraction * total`` vertices.
+
+    ``n1`` is rounded to even so ``n1 * degree`` stays even for the
+    expander pairing model; the graph seed is keyed by the resulting
+    ``n1``, so report and sweep measure the same instance.
+    """
+    n1 = int(round(int(total) * float(fraction)))
+    n1 += n1 % 2
+    n2 = int(total) - n1
+    return two_expanders(n1, n2, degree=int(degree), n_bridges=1, seed=int(seed) + n1)
+
+
+def e5_build_point(
+    *, fraction: float, gain: str, total: int, degree: int, seed: int
+) -> PointConfig:
+    """E5 ablation point: Algorithm A under one swap gain at one balance."""
+    if gain not in E5_GAINS:
+        raise ExperimentError(f"unknown gain {gain!r}; expected one of {E5_GAINS}")
+    pair = build_balance_pair(fraction, total=total, degree=degree, seed=seed)
+    factory, _ = _algorithm_a_factory(pair, gain=gain)
+    return PointConfig(
+        graph=pair.graph,
+        algorithm_factory=factory,
+        initial_values=cut_aligned(pair.partition),
+        max_time=nonconvex_budget(pair),
+        max_events=MAX_EVENTS,
+    )
+
+
+def build_epoch_grid_pair(*, grid_rows: int, grid_cols: int) -> BridgedPair:
+    """The E10 instance: a single-bridge pair of slow-mixing grids."""
+    return two_grids(int(grid_rows), int(grid_cols), n_bridges=1)
+
+
+def e10_build_point(
+    *, constant: float, grid_rows: int, grid_cols: int
+) -> PointConfig:
+    """E10 ablation point: Algorithm A with epoch constant ``C``.
+
+    The run budget never shrinks below the ``C = 3`` budget (a tiny C
+    shortens the *epoch*, not the time the swap needs), and never below
+    the convex scale (grids mix slowly).
+    """
+    pair = build_epoch_grid_pair(grid_rows=grid_rows, grid_cols=grid_cols)
+    factory, _ = _algorithm_a_factory(pair, constant=float(constant))
+    budget = max(
+        nonconvex_budget(pair, constant=max(float(constant), 3.0)),
+        convex_budget(pair),
+    )
+    return PointConfig(
+        graph=pair.graph,
+        algorithm_factory=factory,
+        initial_values=cut_aligned(pair.partition),
+        max_time=budget,
+        max_events=MAX_EVENTS,
+    )
 
 
 def build_width_pair(
@@ -146,8 +289,7 @@ def build_family_pair(
     if family == "clique":
         return dumbbell_graph(2 * half)
     if family == "expander":
-        return two_expanders(half, degree=int(degree), n_bridges=1,
-                             seed=int(seed))
+        return two_expanders(half, degree=int(degree), n_bridges=1, seed=int(seed))
     if family == "erdos_renyi":
         return two_erdos_renyi(half, n_bridges=1, seed=int(seed) + 1)
     if family == "grid":
@@ -181,6 +323,66 @@ def e9_build_point(
 # ----------------------------------------------------------------------
 
 
+def e1_sweep(scale: "str | None" = None, seed: int = 7) -> SweepSpec:
+    """E1 as a grid: total size x convex algorithm on expander pairs."""
+    scale = resolve_scale(scale)
+    return SweepSpec(
+        name="E1",
+        axes=(
+            SweepAxis("n", E1_SIZES[scale]),
+            SweepAxis("algorithm", E1_ALGORITHMS),
+        ),
+        builder=e1_build_point,
+        base_params={"degree": EXPANDER_DEGREE[scale], "seed": seed},
+    )
+
+
+def e2_sweep(scale: "str | None" = None, seed: int = 11) -> SweepSpec:
+    """E2 as a grid: Algorithm A across the same sizes E1 sweeps."""
+    scale = resolve_scale(scale)
+    return SweepSpec(
+        name="E2",
+        axes=(SweepAxis("n", E1_SIZES[scale]),),
+        builder=e2_build_point,
+        base_params={"degree": EXPANDER_DEGREE[scale], "seed": seed},
+    )
+
+
+def e5_sweep(scale: "str | None" = None, seed: int = 19) -> SweepSpec:
+    """E5 as a grid: partition balance x swap gain at fixed total size."""
+    scale = resolve_scale(scale)
+    return SweepSpec(
+        name="E5",
+        axes=(
+            SweepAxis("fraction", E5_FRACTIONS[scale]),
+            SweepAxis("gain", E5_GAINS),
+        ),
+        builder=e5_build_point,
+        base_params={
+            "total": E5_TOTAL[scale],
+            "degree": EXPANDER_DEGREE[scale],
+            "seed": seed,
+        },
+    )
+
+
+def e10_sweep(scale: "str | None" = None, seed: int = 41) -> SweepSpec:
+    """E10 as a grid: the paper's epoch constant C on a grid pair.
+
+    ``seed`` is accepted for registry uniformity but unused: the grid
+    pair is deterministic and Monte-Carlo streams come from the sweep
+    root seed, not the declaration.
+    """
+    scale = resolve_scale(scale)
+    rows, cols = E10_GRID_DIMS[scale]
+    return SweepSpec(
+        name="E10",
+        axes=(SweepAxis("constant", E10_CONSTANTS[scale]),),
+        builder=e10_build_point,
+        base_params={"grid_rows": rows, "grid_cols": cols},
+    )
+
+
 def e3_sweep(scale: "str | None" = None, seed: int = 13) -> SweepSpec:
     """E3 as a grid: dumbbell size x algorithm."""
     scale = resolve_scale(scale)
@@ -206,7 +408,7 @@ def e4_sweep(scale: "str | None" = None, seed: int = 17) -> SweepSpec:
         builder=e4_build_point,
         base_params={
             "half": E4_HALF[scale],
-            "degree": pick(scale, smoke=4, default=8, full=8),
+            "degree": EXPANDER_DEGREE[scale],
             "seed": seed,
         },
     )
@@ -227,7 +429,7 @@ def e9_sweep(scale: "str | None" = None, seed: int = 37) -> SweepSpec:
             "half": E9_HALF[scale],
             "grid_rows": rows,
             "grid_cols": cols,
-            "degree": pick(scale, smoke=4, default=8, full=8),
+            "degree": EXPANDER_DEGREE[scale],
             "seed": seed,
         },
     )
@@ -235,9 +437,13 @@ def e9_sweep(scale: "str | None" = None, seed: int = 37) -> SweepSpec:
 
 #: Registered sweeps, keyed by experiment id.
 SWEEPS: "dict[str, Callable[..., SweepSpec]]" = {
+    "E1": e1_sweep,
+    "E2": e2_sweep,
     "E3": e3_sweep,
     "E4": e4_sweep,
+    "E5": e5_sweep,
     "E9": e9_sweep,
+    "E10": e10_sweep,
 }
 
 
@@ -255,6 +461,20 @@ def get_sweep(sweep_id: str, *, scale: "str | None" = None,
     return SWEEPS[key](**kwargs)
 
 
+#: Per-scale replicate counts the report path has always used.
+REPORT_REPLICATES = {"smoke": 3, "default": 6, "full": 10}
+
+
+def report_budget(scale: "str | None" = None) -> ReplicateBudget:
+    """Fixed budget matching the legacy report replicate counts.
+
+    The rewritten report functions (E1/E2/E5/E10) run their grids through
+    the sweep scheduler under this budget, so a report costs exactly what
+    the one-configuration-at-a-time path used to cost.
+    """
+    return ReplicateBudget.fixed(REPORT_REPLICATES[resolve_scale(scale)])
+
+
 def default_sweep_budget(scale: "str | None" = None) -> ReplicateBudget:
     """Scale-matched adaptive budget.
 
@@ -263,7 +483,7 @@ def default_sweep_budget(scale: "str | None" = None) -> ReplicateBudget:
     the adaptive rule room to tighten noisy grid points.
     """
     scale = resolve_scale(scale)
-    floor = pick(scale, smoke=3, default=6, full=10)
+    floor = REPORT_REPLICATES[scale]
     return ReplicateBudget.adaptive(
         target_ci=0.5,
         min_replicates=floor,
@@ -279,9 +499,7 @@ def axis_override_from_text(text: str) -> "tuple[str, list]":
     same literal forms the grid tables above use.
     """
     if "=" not in text:
-        raise ExperimentError(
-            f"--axis expects name=v1,v2,... got {text!r}"
-        )
+        raise ExperimentError(f"--axis expects name=v1,v2,... got {text!r}")
     name, _, raw_values = text.partition("=")
     name = name.strip()
     values: "list[Any]" = []
@@ -300,7 +518,5 @@ def axis_override_from_text(text: str) -> "tuple[str, list]":
         except ValueError:
             values.append(token)
     if not name or not values:
-        raise ExperimentError(
-            f"--axis expects name=v1,v2,... got {text!r}"
-        )
+        raise ExperimentError(f"--axis expects name=v1,v2,... got {text!r}")
     return name, values

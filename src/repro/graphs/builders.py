@@ -10,7 +10,9 @@ from repro.errors import GraphError
 from repro.graphs.graph import Graph
 
 
-def graph_from_edge_list(edges: Iterable[Sequence[int]], *, n_vertices: "int | None" = None) -> Graph:
+def graph_from_edge_list(
+    edges: Iterable[Sequence[int]], *, n_vertices: "int | None" = None
+) -> Graph:
     """Build a graph from an edge list, inferring ``n_vertices`` if omitted.
 
     When inferring, the vertex count is ``max endpoint + 1`` (an empty edge

@@ -53,7 +53,9 @@ def conductance_of_side(graph: Graph, subset: "np.ndarray | list[int]") -> float
     return partition.conductance
 
 
-def fiedler_sweep_cut(graph: Graph, *, require_connected_sides: bool = False) -> CutResult:
+def fiedler_sweep_cut(
+    graph: Graph, *, require_connected_sides: bool = False
+) -> CutResult:
     """Minimum-conductance sweep cut along the Fiedler ordering.
 
     Vertices are sorted by Fiedler value; every prefix/suffix split is

@@ -83,7 +83,9 @@ class Graph:
             try:
                 u, v = int(pair[0]), int(pair[1])
             except (TypeError, IndexError, ValueError) as exc:
-                raise EdgeError(f"malformed edge {pair!r}; expected a (u, v) pair") from exc
+                raise EdgeError(
+                    f"malformed edge {pair!r}; expected a (u, v) pair"
+                ) from exc
             if u == v:
                 raise EdgeError(f"self-loop ({u}, {v}) is not allowed")
             for endpoint in (u, v):

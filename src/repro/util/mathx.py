@@ -33,7 +33,9 @@ def geometric_mean(values: Iterable[float]) -> float:
     logs = []
     for value in values:
         if value < 0:
-            raise ValueError(f"geometric mean requires non-negative values, got {value}")
+            raise ValueError(
+                f"geometric mean requires non-negative values, got {value}"
+            )
         if value == 0.0:
             return 0.0
         logs.append(math.log(value))

@@ -16,7 +16,9 @@ import numpy as np
 SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
 
 
-def as_generator(seed: "int | np.random.Generator | np.random.SeedSequence | None") -> np.random.Generator:
+def as_generator(
+    seed: "int | np.random.Generator | np.random.SeedSequence | None",
+) -> np.random.Generator:
     """Coerce ``seed`` into a :class:`numpy.random.Generator`.
 
     Accepts an existing generator (returned unchanged), an integer seed, a
@@ -48,7 +50,9 @@ def derive_child(
     )
 
 
-def spawn_generators(seed: "int | np.random.SeedSequence | None", count: int) -> list[np.random.Generator]:
+def spawn_generators(
+    seed: "int | np.random.SeedSequence | None", count: int
+) -> list[np.random.Generator]:
     """Create ``count`` statistically independent generators from one seed.
 
     Uses :meth:`numpy.random.SeedSequence.spawn`, the supported mechanism

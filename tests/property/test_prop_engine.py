@@ -10,7 +10,7 @@ from repro.algorithms.convex import ConvexGossip
 from repro.algorithms.vanilla import VanillaGossip
 from repro.clocks.poisson import PoissonEdgeClocks
 from repro.clocks.schedule import ScriptedSchedule
-from repro.engine.simulator import Simulator, simulate
+from repro.engine.simulator import simulate
 from repro.graphs.topologies import complete_graph, cycle_graph
 
 values_8 = st.lists(

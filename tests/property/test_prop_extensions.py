@@ -11,7 +11,7 @@ from repro.clocks.poisson import PoissonEdgeClocks
 from repro.clocks.unreliable import FailingEdgeClocks, LossyClocks
 from repro.core.multi_cut import MultiCutGossip
 from repro.engine.simulator import simulate
-from repro.graphs.clustering import ClusterPartition, chain_of_cliques
+from repro.graphs.clustering import chain_of_cliques
 from repro.graphs.geometric import GeometricNetwork
 from repro.graphs.graph import Graph
 from repro.graphs.topologies import complete_graph

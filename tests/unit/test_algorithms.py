@@ -18,8 +18,6 @@ from repro.algorithms.two_timescale import TwoTimescaleGossip
 from repro.algorithms.vanilla import VanillaGossip
 from repro.errors import AlgorithmError
 from repro.graphs.composites import two_cliques
-from repro.graphs.graph import Graph
-from repro.graphs.partition import Partition
 
 
 def tick(algorithm, graph, values, edge_id, *, count=1, time=1.0):

@@ -20,7 +20,6 @@ from repro.analysis.dominance import (
 )
 from repro.analysis.epoch_trace import epoch_potential_trace
 from repro.analysis.operators import (
-    EpochOperatorSample,
     expected_update_matrix,
     log_norm_walk,
     operator_norm,
@@ -41,7 +40,7 @@ from repro.analysis.theory import (
     vanilla_variance_halving_time,
 )
 from repro.errors import AnalysisError
-from repro.graphs.composites import dumbbell_graph, two_cliques
+from repro.graphs.composites import two_cliques
 from repro.graphs.topologies import complete_graph
 
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.multi_cut import MultiClusterAveraging, MultiCutGossip
-from repro.engine.simulator import simulate
 from repro.errors import AlgorithmError, PartitionError
 from repro.graphs.clustering import (
     ClusterPartition,

@@ -10,7 +10,7 @@ from repro.graphs.cuts import (
     conductance_of_side,
     fiedler_sweep_cut,
 )
-from repro.graphs.composites import dumbbell_graph, two_cliques
+from repro.graphs.composites import two_cliques
 from repro.graphs.graph import Graph
 from repro.graphs.topologies import complete_graph, path_graph
 

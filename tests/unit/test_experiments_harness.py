@@ -14,7 +14,7 @@ from repro.experiments.harness import (
     resolve_scale,
 )
 from repro.experiments.reporting import render_summary, save_report
-from repro.experiments.specs import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.specs import EXPERIMENTS, get_experiment
 from repro.experiments.workloads import (
     bimodal_noise,
     cut_aligned,

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import PartitionError
-from repro.graphs.graph import Graph
 from repro.graphs.partition import Partition
 from repro.graphs.topologies import complete_graph, path_graph
 

@@ -14,7 +14,7 @@ from repro.engine.recorder import TraceRecorder
 from repro.engine.simulator import Simulator, simulate
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
-from repro.graphs.topologies import complete_graph, path_graph
+from repro.graphs.topologies import path_graph
 
 
 class TestBasicRuns:

@@ -160,7 +160,7 @@ class TestTables:
         text = table.render()
         lines = text.splitlines()
         assert lines[0] == "t"
-        assert all(len(line) <= max(len(l) for l in lines) for line in lines)
+        assert all(len(line) <= max(len(ln) for ln in lines) for line in lines)
         assert "long-cell" in text
 
     def test_row_length_validated(self):

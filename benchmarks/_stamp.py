@@ -1,0 +1,83 @@
+"""Run-stamped benchmark result schema.
+
+Benchmark JSON artifacts under ``benchmarks/results/`` are the repo's
+performance trajectory: CI uploads them per PR and local runs refresh
+the committed copies.  A bare measurement dict is useless later without
+knowing *when* and *on what* it ran, so every artifact is wrapped in one
+envelope::
+
+    {
+      "schema": "repro-bench/v1",
+      "benchmark": "<name>",
+      "run": {"timestamp_utc", "git_commit", "python", "platform",
+              "cpu_count"},
+      "record": {...the measurement...}
+    }
+
+``record`` stays sorted/diffable; the ``run`` block is what makes two
+artifacts from different machines or commits comparable at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+SCHEMA = "repro-bench/v1"
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _git_commit() -> "str | None":
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def run_stamp() -> "dict[str, Any]":
+    """Provenance for one benchmark run (machine, commit, moment)."""
+    return {
+        "timestamp_utc": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "git_commit": _git_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_result(
+    benchmark: str, record: "Mapping[str, Any]", *, filename: "str | None" = None
+) -> Path:
+    """Write one stamped benchmark artifact into ``benchmarks/results/``.
+
+    Returns the written path.  ``filename`` defaults to
+    ``BENCH_<benchmark>.json``.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / (filename or f"BENCH_{benchmark}.json")
+    payload = {
+        "schema": SCHEMA,
+        "benchmark": benchmark,
+        "run": run_stamp(),
+        "record": dict(record),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,120 @@
+"""Cluster vs process-pool sweep throughput (and byte-identity).
+
+Runs the same adaptive E3 sweep ``bench_parallel_scaling.py`` measures,
+but through the TCP cluster backend alongside the process pool at equal
+worker counts, recording configs/sec and replicates/sec per backend into
+``results/BENCH_cluster_scaling.json`` (run-stamped schema).
+
+Two things are asserted unconditionally, at any scale:
+
+* **byte-identity** — both out-of-process backends reproduce the serial
+  artifact exactly (the coordinator's exactly-once assembly is part of
+  the reproducibility contract, not just a performance feature);
+* **overhead sanity** — the cluster backend carries TCP framing +
+  coordination on top of the same replicate work, so its throughput is
+  recorded for the trajectory; no speedup floor is armed (worker spawn
+  and wire cost dominate at smoke scale exactly as pool spawn does in
+  ``bench_parallel_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _stamp import write_result
+
+from repro.engine.backends import ProcessPoolBackend, SerialBackend
+from repro.engine.cluster import ClusterBackend
+from repro.engine.sweeps import ReplicateBudget, SweepRunner
+from repro.experiments.specs_sweeps import get_sweep
+
+REPLICATES = int(os.environ.get("REPRO_BENCH_PARALLEL_REPLICATES", "8"))
+SWEEP_SIZES = tuple(
+    int(token)
+    for token in os.environ.get("REPRO_BENCH_SWEEP_SIZES", "32,48,64").split(",")
+)
+N_WORKERS = int(os.environ.get("REPRO_BENCH_CLUSTER_WORKERS", "2"))
+
+
+def _run_e3_sweep(backend):
+    spec = get_sweep("E3", scale="smoke").with_axis("n", list(SWEEP_SIZES))
+    runner = SweepRunner(
+        spec,
+        seed=0,
+        budget=ReplicateBudget.adaptive(
+            target_ci=0.5,
+            min_replicates=REPLICATES // 2 or 1,
+            max_replicates=2 * REPLICATES,
+            round_size=2,
+        ),
+        backend=backend,
+    )
+    return runner.run(), runner.stats
+
+
+def test_cluster_scaling(benchmark, capsys):
+    """E3 sweep throughput: serial vs process pool vs TCP cluster."""
+    start = time.perf_counter()
+    serial_result, serial_stats = benchmark.pedantic(
+        lambda: _run_e3_sweep(SerialBackend()), rounds=1, iterations=1
+    )
+    serial_seconds = time.perf_counter() - start
+    serial_json = json.dumps(serial_result.to_dict(), sort_keys=True)
+
+    record = {
+        "sweep": "E3",
+        "sizes": list(SWEEP_SIZES),
+        "n_workers": N_WORKERS,
+        "n_configurations": serial_result.n_points,
+        "replicates_scheduled": serial_stats["replicates_scheduled"],
+        "backends": {
+            "serial": {
+                "seconds": round(serial_seconds, 4),
+                "configs_per_sec": round(
+                    serial_result.n_points / serial_seconds, 4
+                ),
+            }
+        },
+    }
+
+    contenders = {
+        f"process-{N_WORKERS}": ProcessPoolBackend(N_WORKERS),
+        f"cluster-{N_WORKERS}": ClusterBackend(N_WORKERS),
+    }
+    for label, backend in contenders.items():
+        start = time.perf_counter()
+        result, stats = _run_e3_sweep(backend)
+        seconds = time.perf_counter() - start
+        backend.shutdown()
+        assert (
+            json.dumps(result.to_dict(), sort_keys=True) == serial_json
+        ), f"{label} sweep diverged from serial"
+        entry = {
+            "seconds": round(seconds, 4),
+            "configs_per_sec": round(result.n_points / seconds, 4),
+            "replicates_per_sec": round(
+                stats["replicates_scheduled"] / seconds, 4
+            ),
+            "speedup_vs_serial": round(serial_seconds / seconds, 3),
+        }
+        if isinstance(backend, ClusterBackend):
+            entry["coordinator_stats"] = dict(backend.stats)
+        record["backends"][label] = entry
+
+    out_path = write_result("cluster_scaling", record)
+    benchmark.extra_info["cluster_throughput"] = record["backends"]
+
+    with capsys.disabled():
+        print()
+        print(
+            f"cluster scaling, E3 sizes {list(SWEEP_SIZES)}, "
+            f"{record['replicates_scheduled']} replicates scheduled:"
+        )
+        for label, stats in record["backends"].items():
+            print(
+                f"  {label}: {stats['seconds']:.2f}s, "
+                f"{stats['configs_per_sec']:.2f} configs/sec"
+            )
+        print(f"  wrote {out_path}")

@@ -187,8 +187,7 @@ def _run_e3_sweep(backend):
 
 def test_sweep_scaling(benchmark, capsys):
     """Whole-grid fan-out: sweep throughput serial vs process pools."""
-    results_dir = os.path.join(os.path.dirname(__file__), "results")
-    os.makedirs(results_dir, exist_ok=True)
+    from _stamp import write_result
 
     start = time.perf_counter()
     serial_result, serial_stats = benchmark.pedantic(
@@ -234,10 +233,9 @@ def test_sweep_scaling(benchmark, capsys):
             "speedup_vs_serial": round(serial_seconds / pooled_seconds, 3),
         }
 
-    out_path = os.path.join(results_dir, "BENCH_sweep_scaling.json")
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Run-stamped artifact in benchmarks/results/ — the committed copy
+    # is the repo's throughput trajectory, CI uploads it per PR.
+    out_path = write_result("sweep_scaling", record)
 
     benchmark.extra_info["sweep_throughput"] = record["backends"]
     with capsys.disabled():

@@ -10,10 +10,13 @@ from repro.engine.backends import (
     ReplicateSpec,
     SerialBackend,
     execute_replicate,
+    register_backend,
+    registered_backends,
     resolve_backend,
     scoped_shared_backends,
     shutdown_shared_backends,
 )
+from repro.engine.cluster import ClusterBackend, FaultPlan, run_worker
 from repro.engine.runner import MonteCarloRunner, ReplicateSummary
 from repro.engine.averaging_time import (
     AveragingTimeEstimate,
@@ -48,9 +51,14 @@ __all__ = [
     "ReplicateSpec",
     "SerialBackend",
     "execute_replicate",
+    "register_backend",
+    "registered_backends",
     "resolve_backend",
     "scoped_shared_backends",
     "shutdown_shared_backends",
+    "ClusterBackend",
+    "FaultPlan",
+    "run_worker",
     "MonteCarloRunner",
     "ReplicateSummary",
     "AveragingTimeEstimate",

@@ -45,11 +45,15 @@ any custom backend) resolves them in-process against the very same
 objects — so results stay bit-identical whether state is shipped,
 inlined, or never leaves the process.
 
-Backend selection: pass an :class:`ExecutionBackend`, the strings
-``"serial"``/``"process"``, or just ``n_workers`` to
+Backend selection: pass an :class:`ExecutionBackend`, a registered
+backend name (``"serial"``, ``"process"``, or ``"cluster"`` — see
+:func:`register_backend`), or just ``n_workers`` to
 :func:`resolve_backend`; with neither, the ``REPRO_WORKERS`` environment
 variable (the CLI's ``--workers`` flag sets it) picks the worker count,
-defaulting to serial execution.
+defaulting to serial execution.  The ``"cluster"`` name resolves lazily
+to :class:`~repro.engine.cluster.ClusterBackend`, the TCP
+coordinator/worker backend speaking this same spec/shared-state
+protocol across process — and machine — boundaries.
 """
 
 from __future__ import annotations
@@ -222,6 +226,82 @@ def execute_replicate(spec: ReplicateSpec) -> RunResult:
     return simulator.run(**dict(spec.run_kwargs))  # type: ignore[arg-type]
 
 
+def check_no_recorder(
+    specs: "Sequence[ReplicateSpec]", *, backend_hint: str
+) -> None:
+    """Reject specs carrying a caller-side recorder.
+
+    A recorder is caller-side mutable state; a worker's appends never
+    cross back over a process (or machine) boundary, so the caller would
+    silently get an empty recorder.  Shared by every out-of-process
+    backend.
+    """
+    for spec in specs:
+        if spec.run_kwargs.get("recorder") is not None:
+            raise SimulationError(
+                f"recorder cannot be used with {backend_hint} — "
+                "worker-side samples never reach the caller's recorder "
+                "object; run with the serial backend (n_workers=1) to "
+                "trace replicates"
+            )
+
+
+def check_spec_picklable(spec: ReplicateSpec) -> None:
+    """Fail fast with guidance instead of a deep executor traceback."""
+    try:
+        pickle.dumps(spec)
+    except Exception as exc:
+        raise SimulationError(
+            "replicate spec cannot be pickled for out-of-process "
+            f"execution ({exc}); use module-level callables, "
+            "functools.partial, or repro.engine.backends.AlgorithmFactory "
+            "instead of lambdas/closures, or fall back to the serial "
+            "backend"
+        ) from exc
+
+
+def check_batch_picklable(specs: "Sequence[ReplicateSpec]") -> None:
+    """Probe picklability once per distinct configuration in a batch.
+
+    Replicates of one configuration share their graph/factory objects,
+    but a sweep batch mixes configurations and any one of them can carry
+    the unpicklable closure; any spec's ``run_kwargs`` can smuggle one
+    in too, so the dedup key covers both.
+    """
+    seen: "set[tuple[int, ...]]" = set()
+    for spec in specs:
+        key = (
+            id(spec.graph),
+            id(spec.algorithm_factory),
+            id(spec.initial_values),
+            id(spec.clock_factory),
+            *sorted(map(id, spec.run_kwargs.values())),
+        )
+        if key not in seen:
+            seen.add(key)
+            check_spec_picklable(spec)
+
+
+def pickle_shared_state(shared_state: "Mapping[str, Any]") -> "tuple[str, bytes]":
+    """Pickle a shared-state mapping and return ``(digest, blob)``.
+
+    The content digest is what lets backends ship a mapping **at most
+    once per worker**: equal-but-distinct mappings hash identically, so
+    neither the process pool nor the cluster coordinator re-ships (or
+    restarts anything) unless the payload genuinely changed.
+    """
+    try:
+        blob = pickle.dumps(dict(shared_state), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SimulationError(
+            "shared state cannot be pickled for out-of-process execution "
+            f"({exc}); use module-level callables, functools.partial, "
+            "or repro.engine.backends.AlgorithmFactory instead of "
+            "lambdas/closures, or fall back to the serial backend"
+        ) from exc
+    return hashlib.sha256(blob).hexdigest(), blob
+
+
 class ExecutionBackend(abc.ABC):
     """How a batch of replicate specs gets executed.
 
@@ -262,8 +342,50 @@ class ExecutionBackend(abc.ABC):
             [resolve_replicate_spec(spec, shared_state) for spec in specs]
         )
 
+    def shutdown(self) -> None:
+        """Release any external resources (pools, workers, sockets).
+
+        No-op by default; backends owning processes or connections
+        override it.  Callers may invoke it unconditionally — a later
+        ``execute`` transparently rebuilds whatever was released.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def execute_with_retry(
+    backend: ExecutionBackend,
+    specs: "Sequence[ReplicateSpec]",
+    *,
+    shared_state: "Mapping[str, Any] | None" = None,
+    max_retries: int = 1,
+    on_retry: "Callable[[Exception], None] | None" = None,
+) -> "list[RunResult]":
+    """Execute a batch, re-running it after *retryable* backend failures.
+
+    A failure is retryable when the raised exception carries a truthy
+    ``retryable`` attribute (:class:`~repro.errors.ClusterError` sets it
+    for transient fleet loss).  Because every replicate's randomness is
+    a pure function of its spec, a retried batch is bit-identical to an
+    undisturbed one — retrying is free of reproducibility cost by
+    construction.  Deterministic failures (unpicklable specs, a
+    replicate that raises) propagate immediately.  ``on_retry`` is
+    called with the swallowed exception before each re-run (telemetry
+    hook for the sweep scheduler's stats).
+    """
+    attempts = 0
+    while True:
+        try:
+            if shared_state is not None:
+                return backend.execute_shared(specs, shared_state)
+            return backend.execute(specs)
+        except Exception as exc:
+            if not getattr(exc, "retryable", False) or attempts >= max_retries:
+                raise
+            attempts += 1
+            if on_retry is not None:
+                on_retry(exc)
 
 
 class SerialBackend(ExecutionBackend):
@@ -349,20 +471,6 @@ class ProcessPoolBackend(ExecutionBackend):
         #: regression suite asserts a whole sweep costs exactly one.
         self.shared_installs = 0
 
-    @staticmethod
-    def _check_no_recorder(specs: "Sequence[ReplicateSpec]") -> None:
-        for spec in specs:
-            if spec.run_kwargs.get("recorder") is not None:
-                # A recorder is caller-side mutable state; a worker's
-                # appends never cross back over the process boundary, so
-                # the caller would silently get an empty recorder.
-                raise SimulationError(
-                    "recorder cannot be used with process execution — "
-                    "worker-side samples never reach the caller's "
-                    "recorder object; run with the serial backend "
-                    "(n_workers=1) to trace replicates"
-                )
-
     def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
         if not specs:
             return []
@@ -370,22 +478,8 @@ class ProcessPoolBackend(ExecutionBackend):
             # A pool of one buys nothing; the serial path is identical
             # by construction (same execute_replicate, same seeds).
             return [execute_replicate(spec) for spec in specs]
-        self._check_no_recorder(specs)
-        # Probe picklability once per distinct configuration: replicates
-        # of one configuration share their graph/factory objects, but a
-        # sweep batch mixes configurations and any one of them can carry
-        # the unpicklable closure.
-        seen: "set[tuple[int, ...]]" = set()
-        for spec in specs:
-            key = (
-                id(spec.graph),
-                id(spec.algorithm_factory),
-                id(spec.initial_values),
-                id(spec.clock_factory),
-            )
-            if key not in seen:
-                seen.add(key)
-                self._check_picklable(spec)
+        check_no_recorder(specs, backend_hint="process execution")
+        check_batch_picklable(specs)
         if self._pool is None:
             # Lazily created and reused across execute() calls: an
             # experiment makes dozens of estimator calls, and paying
@@ -418,23 +512,8 @@ class ProcessPoolBackend(ExecutionBackend):
                 execute_replicate(resolve_replicate_spec(spec, shared_state))
                 for spec in specs
             ]
-        self._check_no_recorder(specs)
-        # Same fail-fast probe as execute().  A slim spec's heavy fields
-        # are tiny refs, but a batch may mix in ref-free specs, and any
-        # spec's run_kwargs can smuggle in a lambda/closure — so the
-        # dedup key covers both.
-        seen: "set[tuple[int, ...]]" = set()
-        for spec in specs:
-            key = (
-                id(spec.graph),
-                id(spec.algorithm_factory),
-                id(spec.initial_values),
-                id(spec.clock_factory),
-                *sorted(map(id, spec.run_kwargs.values())),
-            )
-            if key not in seen:
-                seen.add(key)
-                self._check_picklable(spec)
+        check_no_recorder(specs, backend_hint="process execution")
+        check_batch_picklable(specs)
         self._ensure_shared_pool(shared_state)
         assert self._pool is not None
         try:
@@ -456,16 +535,7 @@ class ProcessPoolBackend(ExecutionBackend):
         """
         if self._pool is not None and shared_state is self._installed_state:
             return
-        try:
-            blob = pickle.dumps(dict(shared_state), protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception as exc:
-            raise SimulationError(
-                "shared state cannot be pickled for process execution "
-                f"({exc}); use module-level callables, functools.partial, "
-                "or repro.engine.backends.AlgorithmFactory instead of "
-                "lambdas/closures, or fall back to the serial backend"
-            ) from exc
-        digest = hashlib.sha256(blob).hexdigest()
+        digest, blob = pickle_shared_state(shared_state)
         if self._pool is not None and digest == self._installed_digest:
             self._installed_state = shared_state
             return
@@ -496,19 +566,6 @@ class ProcessPoolBackend(ExecutionBackend):
             self.shutdown()
         except Exception:
             pass
-
-    @staticmethod
-    def _check_picklable(spec: ReplicateSpec) -> None:
-        """Fail fast with guidance instead of a deep executor traceback."""
-        try:
-            pickle.dumps(spec)
-        except Exception as exc:
-            raise SimulationError(
-                "replicate spec cannot be pickled for process execution "
-                f"({exc}); use module-level callables, functools.partial, "
-                "or repro.engine.backends.AlgorithmFactory instead of "
-                "lambdas/closures, or fall back to the serial backend"
-            ) from exc
 
     def __repr__(self) -> str:
         return f"ProcessPoolBackend(n_workers={self.n_workers})"
@@ -616,6 +673,55 @@ def scoped_shared_backends():
         shutdown_shared_backends(only=set(_SHARED_PROCESS_BACKENDS) - before)
 
 
+def _serial_factory(n_workers: "int | None") -> ExecutionBackend:
+    return SerialBackend()
+
+
+def _process_factory(n_workers: "int | None") -> ExecutionBackend:
+    return shared_process_backend(n_workers)
+
+
+def _cluster_factory(n_workers: "int | None") -> ExecutionBackend:
+    # Function-local import: cluster.py imports this module, so a
+    # top-level import here would be circular.
+    from repro.engine.cluster import ClusterBackend
+
+    return ClusterBackend(n_workers)
+
+
+#: Name -> factory registry behind :func:`resolve_backend`.  Factories
+#: take the requested worker count (``None`` = backend default) and
+#: return a ready backend; third-party backends join via
+#: :func:`register_backend`.
+_BACKEND_FACTORIES: "dict[str, Callable[[int | None], ExecutionBackend]]" = {
+    "serial": _serial_factory,
+    "process": _process_factory,
+    "cluster": _cluster_factory,
+}
+
+
+def register_backend(
+    name: str, factory: "Callable[[int | None], ExecutionBackend]"
+) -> None:
+    """Register (or replace) a named backend factory.
+
+    ``factory(n_workers)`` must return an :class:`ExecutionBackend`;
+    the name becomes valid everywhere a backend string is accepted
+    (``resolve_backend``, ``MonteCarloRunner``, ``SweepRunner``, the
+    CLI's ``--backend`` flag).
+    """
+    if not name or not isinstance(name, str):
+        raise SimulationError(f"backend name must be a non-empty str, got {name!r}")
+    if not callable(factory):
+        raise SimulationError(f"backend factory must be callable, got {factory!r}")
+    _BACKEND_FACTORIES[name] = factory
+
+
+def registered_backends() -> "tuple[str, ...]":
+    """The currently registered backend names (sorted)."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
 def resolve_backend(
     backend: "ExecutionBackend | str | None" = None,
     *,
@@ -623,26 +729,35 @@ def resolve_backend(
 ) -> ExecutionBackend:
     """Coerce a backend choice into an :class:`ExecutionBackend`.
 
-    Accepts an existing backend instance (returned unchanged), the names
-    ``"serial"``/``"process"``, or ``None`` — in which case ``n_workers``
-    (falling back to the ``REPRO_WORKERS`` environment variable, then 1)
-    selects serial execution for one worker and a process pool otherwise.
+    Accepts an existing backend instance (returned unchanged), a
+    registered backend name (``"serial"``, ``"process"``, ``"cluster"``,
+    or anything added via :func:`register_backend`), or ``None`` — in
+    which case ``n_workers`` (falling back to the ``REPRO_WORKERS``
+    environment variable, then 1) selects serial execution for one
+    worker and a process pool otherwise.
 
     Name- and count-resolved process backends are shared per worker
     count (:func:`shared_process_backend`), so back-to-back estimator
     calls reuse one warm pool; pass a :class:`ProcessPoolBackend`
-    instance instead when a private pool is wanted.
+    instance instead when a private pool is wanted.  Cluster backends
+    are private per resolution (each owns its worker fleet) — callers
+    should ``shutdown()`` them when done.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
     if isinstance(backend, str):
-        if backend == "serial":
-            return SerialBackend()
-        if backend == "process":
-            return shared_process_backend(n_workers)
-        raise SimulationError(
-            f"unknown backend {backend!r}; expected 'serial' or 'process'"
-        )
+        factory = _BACKEND_FACTORIES.get(backend)
+        if factory is None:
+            raise SimulationError(
+                f"unknown backend {backend!r}; registered backends: "
+                f"{', '.join(registered_backends())}"
+            )
+        if n_workers is None and os.environ.get(WORKERS_ENV_VAR) is not None:
+            # A named backend must honor the documented REPRO_WORKERS
+            # fallback too; with the variable unset each backend keeps
+            # its own default (process: cpu_count, cluster: 2).
+            n_workers = default_n_workers()
+        return factory(n_workers)
     if backend is not None:
         raise SimulationError(
             f"backend must be an ExecutionBackend, str or None, "

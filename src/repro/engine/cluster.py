@@ -1,0 +1,836 @@
+"""Fault-tolerant TCP cluster execution backend.
+
+:class:`ClusterBackend` is the third :class:`~repro.engine.backends
+.ExecutionBackend`: a coordinator that shards :class:`~repro.engine
+.backends.ReplicateSpec` batches over worker *processes* connected by
+TCP — spawned locally (``repro worker --connect host:port`` under the
+hood), attached from other machines, or both.  It speaks the same
+``ReplicateSpec``/shared-state protocol as the process pool, so every
+caller of ``execute``/``execute_shared`` (estimators, the sweep
+scheduler) gains multi-host fan-out without changing a line.
+
+**Reproducibility under failure.**  All randomness lives inside each
+spec's :class:`~numpy.random.SeedSequence` and
+:func:`~repro.engine.backends.execute_replicate` is a pure function of
+the spec, so *where* (and how many times) a replicate runs can never
+change its result.  The coordinator therefore only has to deliver
+exactly-once *semantics*, not exactly-once *execution*: every task
+carries a globally unique id, at-least-once delivery (reassignment after
+a crash, duplicated sends from a sick worker, stale results from a
+previous batch) collapses in the coordinator's result table, and results
+return in submission order.  ``SweepResult`` artifacts are therefore
+**byte-identical** to :class:`~repro.engine.backends.SerialBackend` for
+the same root seed — including under injected worker crashes, which the
+fault-injection suite (``tests/integration/test_cluster_faults.py``)
+pins down.
+
+**Failure detection and recovery.**  Three mechanisms, in order of
+latency: a closed socket (worker crash → immediate EOF), a heartbeat
+timeout (workers push :data:`~repro.engine.wire.MSG_HEARTBEAT` from a
+background thread, so a busy straggler stays alive while a hung or
+partitioned worker is declared dead), and a per-batch respawn budget
+that rebuilds locally spawned workers.  A dead worker's in-flight specs
+are reassigned to the front of the queue; a spec that keeps killing
+workers exhausts ``max_task_retries`` and raises a non-retryable
+:class:`~repro.errors.ClusterError`, while a transient full-fleet loss
+raises a *retryable* one that the engine's round-level retry
+(:class:`~repro.engine.sweeps.SweepRunner`) turns into one clean re-run
+of the batch.
+
+**Shared-state shipping.**  ``execute_shared`` reuses the content-digest
+scheme from :mod:`repro.engine.backends`: the mapping is pickled once
+per batch (identity/digest cached across batches), shipped to each
+worker at most once per digest via a :data:`~repro.engine.wire
+.MSG_STATE` frame, and slim specs resolve worker-side — so a sweep's
+per-replicate wire payload shrinks to (seed, run kwargs) exactly as on
+the process pool.
+
+**Fault injection.**  Workers accept a :class:`FaultPlan` (CLI
+``--fault``) that makes failure deterministic enough to test: crash
+after N results, drop the connection, duplicate every result frame,
+or run slow.  This is a test/chaos hook; production workers run with no
+plan.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import selectors
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.engine import wire
+from repro.engine.backends import (
+    ExecutionBackend,
+    ReplicateSpec,
+    check_batch_picklable,
+    check_no_recorder,
+    execute_replicate,
+    pickle_shared_state,
+    resolve_replicate_spec,
+    spec_has_refs,
+)
+from repro.engine.results import RunResult
+from repro.errors import ClusterError
+
+#: How long a worker waits for the coordinator before giving up.
+WORKER_CONNECT_TIMEOUT = 30.0
+
+#: Bytes read per readiness event on the coordinator side.
+_RECV_CHUNK = 1 << 16
+
+
+# ----------------------------------------------------------------------
+# fault injection plans (test/chaos hook)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic misbehavior for one worker (fault-injection tests).
+
+    Attributes
+    ----------
+    die_after:
+        Crash the worker process (no goodbye, like OOM/SIGKILL) after it
+        has sent this many results.
+    drop_after:
+        Close the TCP connection after this many results but exit
+        cleanly — a network drop rather than a process death.
+    duplicate_results:
+        Send every result frame twice (exercises coordinator dedup).
+    slow:
+        Sleep this many seconds before each task (a straggler that must
+        *not* be declared dead while its heartbeats keep flowing).
+    """
+
+    die_after: "int | None" = None
+    drop_after: "int | None" = None
+    duplicate_results: bool = False
+    slow: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("die_after", "drop_after"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ClusterError(f"{name} must be >= 1, got {value}")
+        if self.slow < 0:
+            raise ClusterError(f"slow must be >= 0, got {self.slow}")
+
+    @classmethod
+    def parse(cls, text: "str | None") -> "FaultPlan":
+        """Parse the CLI form: comma-separated fault tokens.
+
+        ``die-after:N`` / ``drop-after:N`` / ``duplicate-results`` /
+        ``slow:SECONDS`` — e.g. ``"die-after:3,slow:0.05"``.
+        """
+        if not text:
+            return cls()
+        kwargs: "dict[str, Any]" = {}
+        for token in text.split(","):
+            token = token.strip()
+            name, _, value = token.partition(":")
+            try:
+                if name == "die-after":
+                    kwargs["die_after"] = int(value)
+                elif name == "drop-after":
+                    kwargs["drop_after"] = int(value)
+                elif name == "duplicate-results":
+                    kwargs["duplicate_results"] = True
+                elif name == "slow":
+                    kwargs["slow"] = float(value)
+                else:
+                    raise ClusterError(
+                        f"unknown fault token {token!r}; expected "
+                        "die-after:N, drop-after:N, duplicate-results "
+                        "or slow:SECONDS"
+                    )
+            except ValueError:
+                raise ClusterError(
+                    f"fault token {token!r} has a malformed value"
+                ) from None
+        return cls(**kwargs)
+
+    def to_text(self) -> "str | None":
+        """Inverse of :meth:`parse` (``None`` when no fault is armed)."""
+        tokens = []
+        if self.die_after is not None:
+            tokens.append(f"die-after:{self.die_after}")
+        if self.drop_after is not None:
+            tokens.append(f"drop-after:{self.drop_after}")
+        if self.duplicate_results:
+            tokens.append("duplicate-results")
+        if self.slow:
+            tokens.append(f"slow:{self.slow}")
+        return ",".join(tokens) if tokens else None
+
+
+# ----------------------------------------------------------------------
+# the worker loop (``repro ... worker --connect host:port``)
+# ----------------------------------------------------------------------
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    fault: "FaultPlan | str | None" = None,
+    heartbeat_interval: float = 1.0,
+) -> int:
+    """Connect to a coordinator and execute tasks until told to stop.
+
+    The worker is deliberately simple: one blocking receive loop plus a
+    daemon heartbeat thread (so liveness signals flow even while a task
+    computes).  Shared-state mappings install on :data:`~repro.engine
+    .wire.MSG_STATE` and persist across tasks; slim specs resolve against
+    the installed mapping.  Returns a process exit code.
+    """
+    plan = FaultPlan.parse(fault) if isinstance(fault, str) else (fault or FaultPlan())
+    try:
+        sock = socket.create_connection((host, port), timeout=WORKER_CONNECT_TIMEOUT)
+    except OSError as exc:
+        print(
+            f"worker: cannot reach coordinator {host}:{port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    sock.settimeout(None)
+    conn = wire.Connection(sock)
+    conn.send(wire.MSG_HELLO, {"version": wire.WIRE_VERSION, "pid": os.getpid()})
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                conn.send(wire.MSG_HEARTBEAT, {})
+            except OSError:
+                return
+
+    threading.Thread(target=beat, name="repro-heartbeat", daemon=True).start()
+
+    installed: "dict[str, Any]" = {}
+    completed = 0
+    try:
+        while True:
+            frame = conn.recv()
+            if frame is None:
+                return 0  # coordinator went away; nothing left to do
+            kind, payload = frame
+            if kind == wire.MSG_SHUTDOWN:
+                return 0
+            if kind == wire.MSG_STATE:
+                installed = pickle.loads(payload["blob"])
+                continue
+            if kind != wire.MSG_TASK:
+                continue  # tolerate unknown kinds (forward compatibility)
+            task_id = payload["task_id"]
+            spec: ReplicateSpec = payload["spec"]
+            if plan.slow:
+                time.sleep(plan.slow)
+            try:
+                if spec_has_refs(spec):
+                    spec = resolve_replicate_spec(spec, installed)
+                result = execute_replicate(spec)
+            except Exception as exc:  # deterministic: report, don't die
+                conn.send(wire.MSG_ERROR, {
+                    "task_id": task_id,
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+                continue
+            conn.send(wire.MSG_RESULT, {"task_id": task_id, "result": result})
+            if plan.duplicate_results:
+                conn.send(wire.MSG_RESULT, {"task_id": task_id, "result": result})
+            completed += 1
+            if plan.die_after is not None and completed >= plan.die_after:
+                os._exit(17)  # simulated crash: no cleanup, no goodbye
+            if plan.drop_after is not None and completed >= plan.drop_after:
+                conn.close()  # simulated network drop (process exits cleanly)
+                return 0
+    except Exception as exc:
+        # Connection loss, framing corruption, or a STATE/TASK payload
+        # this checkout cannot unpickle: report and exit nonzero — the
+        # coordinator sees EOF and reassigns whatever was in flight.
+        print(
+            f"worker: giving up ({type(exc).__name__}: {exc})",
+            file=sys.stderr,
+        )
+        return 1
+    finally:
+        stop.set()
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Coordinator-side bookkeeping for one connected worker."""
+
+    _ids = itertools.count()
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.id = next(self._ids)
+        self.sock = sock
+        self.decoder = wire.FrameDecoder()
+        self.hello: "Mapping[str, Any] | None" = None
+        self.proc: "subprocess.Popen | None" = None
+        self.installed_digest: "str | None" = None
+        self.inflight: "dict[int, bool]" = {}
+        self.last_seen = time.monotonic()
+        self.results_delivered = 0
+
+    @property
+    def ready(self) -> bool:
+        """True once the worker's HELLO arrived (tasks may be sent)."""
+        return self.hello is not None
+
+    def send(self, kind: str, payload: "Any") -> None:
+        self.sock.sendall(wire.encode_frame(kind, payload))
+
+    def __repr__(self) -> str:
+        return f"_WorkerHandle(id={self.id}, ready={self.ready})"
+
+
+class ClusterBackend(ExecutionBackend):
+    """Execute replicate batches over TCP-connected worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Fleet size the coordinator maintains (local spawns) or expects
+        (external attachments).
+    host / port:
+        Coordinator bind address; port 0 picks an ephemeral port (read
+        it back from :attr:`address`).  Bind a routable host (e.g.
+        ``"0.0.0.0"``) to let workers on other machines attach with
+        ``repro ... worker --connect <host>:<port>``.
+    spawn_workers:
+        Spawn ``n_workers`` local worker processes on first use and
+        respawn them after failures (default).  ``False`` waits for
+        external workers to attach instead.
+    worker_faults:
+        Optional per-spawn-ordinal fault plans (test/chaos hook):
+        element ``i`` arms the ``i``-th worker ever spawned; respawned
+        replacements beyond the list run clean.
+    heartbeat_timeout:
+        Seconds of silence after which a worker is declared dead and its
+        in-flight specs reassigned.  Workers heartbeat from a background
+        thread, so a straggler mid-task stays alive.
+    connect_timeout:
+        Seconds to wait for the first ready worker of a batch.
+    window:
+        In-flight specs per worker (pipelining depth; keeps a worker's
+        next task in its socket buffer while it computes the current
+        one).
+    max_task_retries:
+        Reassignments one spec may survive before the batch fails — a
+        spec that kills every worker it lands on must not retry forever.
+    max_respawns:
+        Local respawns allowed per batch (default: ``n_workers``).
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        n_workers: "int | None" = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_workers: bool = True,
+        worker_faults: "Sequence[FaultPlan | str | None] | None" = None,
+        heartbeat_timeout: float = 30.0,
+        connect_timeout: float = 60.0,
+        window: int = 2,
+        max_task_retries: int = 3,
+        max_respawns: "int | None" = None,
+        io_timeout: float = 30.0,
+    ) -> None:
+        if n_workers is None:
+            n_workers = 2
+        if n_workers < 1:
+            raise ClusterError(f"n_workers must be positive, got {n_workers}")
+        if window < 1:
+            raise ClusterError(f"window must be positive, got {window}")
+        if heartbeat_timeout <= 0 or connect_timeout <= 0:
+            raise ClusterError("timeouts must be positive")
+        self.n_workers = int(n_workers)
+        self.host = host
+        self.port = port
+        self.spawn_workers = spawn_workers
+        self.worker_faults = list(worker_faults or [])
+        self.heartbeat_timeout = heartbeat_timeout
+        self.connect_timeout = connect_timeout
+        self.window = int(window)
+        self.max_task_retries = int(max_task_retries)
+        self.max_respawns = (
+            int(max_respawns) if max_respawns is not None else self.n_workers
+        )
+        self.io_timeout = io_timeout
+        self._listener: "socket.socket | None" = None
+        self._selector: "selectors.BaseSelector | None" = None
+        self._workers: "dict[int, _WorkerHandle]" = {}
+        self._pending_procs: "dict[int, subprocess.Popen]" = {}  # pid -> proc
+        self._spawn_ordinal = 0
+        self._respawns_left = self.max_respawns
+        self._free_spawns = 0
+        self._next_task_id = 0
+        #: Cached (mapping, digest, blob) so a sweep's stable mapping is
+        #: pickled once, not once per round (identity first, then digest
+        #: — the scheme shared with ProcessPoolBackend).
+        self._state_cache: "tuple[Mapping[str, Any], str, bytes] | None" = None
+        #: Failure/recovery telemetry, cumulative across batches; the
+        #: fault-injection suite asserts on these.
+        self.stats: "dict[str, int]" = {}
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the failure/recovery counters."""
+        self.stats = {
+            "batches": 0,
+            "worker_failures": 0,
+            "reassigned": 0,
+            "duplicates_dropped": 0,
+            "respawns": 0,
+            "state_installs": 0,
+        }
+
+    # -- public backend protocol ---------------------------------------
+
+    def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
+        if not specs:
+            return []
+        return self._run_batch(list(specs), state=None)
+
+    def execute_shared(
+        self,
+        specs: "Sequence[ReplicateSpec]",
+        shared_state: "Mapping[str, Any]",
+    ) -> "list[RunResult]":
+        if not specs:
+            return []
+        return self._run_batch(list(specs), state=self._encode_state(shared_state))
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The coordinator's bound ``(host, port)`` (binds if needed)."""
+        self._ensure_listener()
+        assert self._listener is not None
+        addr = self._listener.getsockname()
+        return (addr[0], addr[1])
+
+    # -- state shipping -------------------------------------------------
+
+    def _encode_state(
+        self, shared_state: "Mapping[str, Any]"
+    ) -> "tuple[str, bytes]":
+        if self._state_cache is not None:
+            cached_mapping, digest, blob = self._state_cache
+            if shared_state is cached_mapping:
+                return digest, blob
+        digest, blob = pickle_shared_state(shared_state)
+        if self._state_cache is not None and digest == self._state_cache[1]:
+            blob = self._state_cache[2]
+        self._state_cache = (shared_state, digest, blob)
+        return digest, blob
+
+    # -- fleet management ----------------------------------------------
+
+    def _ensure_listener(self) -> None:
+        if self._listener is not None:
+            return
+        listener = socket.create_server(
+            (self.host, self.port), backlog=max(16, 2 * self.n_workers)
+        )
+        listener.setblocking(False)
+        self._listener = listener
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, data=None)
+
+    def _fault_for(self, ordinal: int) -> "str | None":
+        if ordinal >= len(self.worker_faults):
+            return None
+        fault = self.worker_faults[ordinal]
+        if fault is None:
+            return None
+        if isinstance(fault, FaultPlan):
+            return fault.to_text()
+        return str(fault)
+
+    def _spawn_worker(self) -> None:
+        """Launch one local worker process pointed at the listener."""
+        host, port = self.address
+        connect_host = "127.0.0.1" if host in ("0.0.0.0", "::") else host
+        interval = min(2.0, max(0.1, self.heartbeat_timeout / 4.0))
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "worker",
+            "--connect",
+            f"{connect_host}:{port}",
+            "--heartbeat-interval",
+            str(interval),
+        ]
+        fault = self._fault_for(self._spawn_ordinal)
+        if fault:
+            command += ["--fault", fault]
+        self._spawn_ordinal += 1
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        # A local worker must mirror the coordinator's import environment
+        # (the fork-based process pool gets this for free): specs may
+        # reference classes from any module the parent can import — the
+        # test suites' module-level factories included — so ship the
+        # parent's whole sys.path, with the repro package root first.
+        search_path = [package_root]
+        search_path += [entry for entry in sys.path if entry]
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        if existing:
+            search_path.append(existing)
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(search_path))
+        proc = subprocess.Popen(
+            command,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=None,  # surface worker tracebacks in the parent's stderr
+        )
+        self._pending_procs[proc.pid] = proc
+
+    def _maintain_fleet(self) -> None:
+        """Keep (connected + pending) local workers at ``n_workers``.
+
+        Each batch may bring the fleet up to strength for free (its
+        ``_free_spawns`` allowance, set at batch start); every further
+        spawn is a respawn and draws on the per-batch budget, so a
+        worker that crashes on arrival cannot respawn-loop forever —
+        while a *retried* batch starts with a fresh allowance and can
+        rebuild a fully lost fleet.
+        """
+        if not self.spawn_workers:
+            return
+        for pid in [
+            pid for pid, proc in self._pending_procs.items()
+            if proc.poll() is not None
+        ]:
+            del self._pending_procs[pid]  # died before saying HELLO
+        spawned_live = (
+            sum(1 for handle in self._workers.values() if handle.proc is not None)
+            + len(self._pending_procs)
+        )
+        while spawned_live < self.n_workers:
+            if self._free_spawns > 0:
+                self._free_spawns -= 1
+            else:
+                if self._respawns_left <= 0:
+                    return
+                self._respawns_left -= 1
+                self.stats["respawns"] += 1
+            self._spawn_worker()
+            spawned_live += 1
+
+    def _accept_connections(self) -> None:
+        assert self._listener is not None and self._selector is not None
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            sock.settimeout(self.io_timeout)
+            handle = _WorkerHandle(sock)
+            self._workers[handle.id] = handle
+            self._selector.register(sock, selectors.EVENT_READ, data=handle)
+
+    def _fail_worker(
+        self,
+        handle: _WorkerHandle,
+        queue: "deque[int]",
+        retries: "dict[int, int]",
+        reason: str,
+    ) -> None:
+        """Remove a dead worker and reassign its in-flight specs."""
+        self.stats["worker_failures"] += 1
+        assert self._selector is not None
+        try:
+            self._selector.unregister(handle.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            handle.sock.close()
+        except OSError:
+            pass
+        self._workers.pop(handle.id, None)
+        if handle.proc is not None:
+            if handle.proc.poll() is None:
+                handle.proc.terminate()
+            # Reap without blocking the batch; shutdown() sweeps stragglers.
+            try:
+                handle.proc.wait(timeout=0.2)
+            except subprocess.TimeoutExpired:
+                pass
+        for task_id in sorted(handle.inflight, reverse=True):
+            retries[task_id] = retries.get(task_id, 0) + 1
+            if retries[task_id] > self.max_task_retries:
+                raise ClusterError(
+                    f"replicate task survived {self.max_task_retries} "
+                    f"reassignments and still failed (last worker lost: "
+                    f"{reason}); the spec itself is suspect",
+                    retryable=False,
+                )
+            self.stats["reassigned"] += 1
+            queue.appendleft(task_id)
+
+    # -- the batch loop -------------------------------------------------
+
+    def _send_task(
+        self,
+        handle: _WorkerHandle,
+        task_id: int,
+        spec: ReplicateSpec,
+        state: "tuple[str, bytes] | None",
+    ) -> None:
+        if state is not None and handle.installed_digest != state[0]:
+            handle.send(wire.MSG_STATE, {"digest": state[0], "blob": state[1]})
+            handle.installed_digest = state[0]
+            self.stats["state_installs"] += 1
+        handle.inflight[task_id] = True
+        handle.send(wire.MSG_TASK, {"task_id": task_id, "spec": spec})
+
+    def _run_batch(
+        self,
+        specs: "list[ReplicateSpec]",
+        state: "tuple[str, bytes] | None",
+    ) -> "list[RunResult]":
+        check_no_recorder(specs, backend_hint="the cluster backend")
+        check_batch_picklable(specs)
+        self._ensure_listener()
+        assert self._selector is not None
+        self.stats["batches"] += 1
+        self._respawns_left = self.max_respawns
+        live = (
+            sum(1 for h in self._workers.values() if h.proc is not None)
+            + len(self._pending_procs)
+        )
+        self._free_spawns = max(0, self.n_workers - live)
+        # Between batches nobody reads the sockets, so worker heartbeats
+        # pile up unread in kernel buffers; without a reset, a long gap
+        # would read as silence and fail a healthy fleet.  Stale in-flight
+        # entries (an aborted batch) are obsolete task ids — drop them.
+        fresh_start = time.monotonic()
+        for handle in self._workers.values():
+            handle.last_seen = fresh_start
+            handle.inflight.clear()
+
+        id_to_index: "dict[int, int]" = {}
+        for index in range(len(specs)):
+            id_to_index[self._next_task_id] = index
+            self._next_task_id += 1
+        task_ids = sorted(id_to_index)
+        queue: "deque[int]" = deque(task_ids)
+        results: "dict[int, RunResult]" = {}
+        retries: "dict[int, int]" = {}
+        batch_start = time.monotonic()
+
+        had_ready_worker = False
+        while len(results) < len(specs):
+            self._maintain_fleet()
+            if not self._workers and not self._pending_procs and had_ready_worker:
+                # The whole fleet died mid-batch.  With local spawning
+                # the respawn budget is exhausted but a *fresh* batch
+                # gets a fresh budget, so the failure is transient and
+                # the engine's round-level retry may re-run it.
+                raise ClusterError(
+                    "every cluster worker was lost mid-batch and the "
+                    "respawn budget is exhausted; the batch can be "
+                    "retried against a fresh fleet",
+                    retryable=self.spawn_workers,
+                )
+            now = time.monotonic()
+            if any(handle.ready for handle in self._workers.values()):
+                had_ready_worker = True
+            elif now - batch_start > self.connect_timeout:
+                raise ClusterError(
+                    f"no worker became ready within {self.connect_timeout}s "
+                    f"(listening on {self.address[0]}:{self.address[1]}); "
+                    "check that workers can reach the coordinator",
+                    retryable=False,
+                )
+            for handle in list(self._workers.values()):
+                if (
+                    handle.ready
+                    and handle.inflight
+                    and now - handle.last_seen > self.heartbeat_timeout
+                ):
+                    self._fail_worker(
+                        handle, queue, retries,
+                        f"no heartbeat for {self.heartbeat_timeout}s",
+                    )
+            self._dispatch(queue, results, id_to_index, specs, state, retries)
+            events = self._selector.select(timeout=0.05)
+            for key, _mask in events:
+                if key.data is None:
+                    self._accept_connections()
+                else:
+                    self._read_worker(
+                        key.data, queue, results, id_to_index, retries
+                    )
+        return [results[index] for index in range(len(specs))]
+
+    def _dispatch(
+        self,
+        queue: "deque[int]",
+        results: "dict[int, RunResult]",
+        id_to_index: "dict[int, int]",
+        specs: "list[ReplicateSpec]",
+        state: "tuple[str, bytes] | None",
+        retries: "dict[int, int]",
+    ) -> None:
+        for handle in list(self._workers.values()):
+            if not handle.ready:
+                continue
+            while queue and len(handle.inflight) < self.window:
+                task_id = queue[0]
+                index = id_to_index[task_id]
+                if index in results:
+                    queue.popleft()  # settled while waiting for reassignment
+                    continue
+                queue.popleft()
+                try:
+                    self._send_task(handle, task_id, specs[index], state)
+                except (OSError, ClusterError):
+                    queue.appendleft(task_id)
+                    handle.inflight.pop(task_id, None)
+                    self._fail_worker(handle, queue, retries, "send failed")
+                    break
+
+    def _read_worker(
+        self,
+        handle: _WorkerHandle,
+        queue: "deque[int]",
+        results: "dict[int, RunResult]",
+        id_to_index: "dict[int, int]",
+        retries: "dict[int, int]",
+    ) -> None:
+        try:
+            data = handle.sock.recv(_RECV_CHUNK)
+        except OSError:
+            self._fail_worker(handle, queue, retries, "receive failed")
+            return
+        if not data:
+            self._fail_worker(handle, queue, retries, "connection closed")
+            return
+        handle.last_seen = time.monotonic()
+        try:
+            frames = handle.decoder.feed(data)
+        except Exception as exc:
+            # Framing errors AND unpickleable payloads (a worker on a
+            # mismatched checkout returning classes this process lacks):
+            # the stream is unusable, but only *this* worker is — fail
+            # it and let its specs reassign rather than abort the batch.
+            self._fail_worker(
+                handle, queue, retries,
+                f"undecodable stream ({type(exc).__name__}: {exc})",
+            )
+            return
+        for kind, payload in frames:
+            if kind == wire.MSG_HELLO:
+                if payload.get("version") != wire.WIRE_VERSION:
+                    self._fail_worker(
+                        handle, queue, retries,
+                        f"wire version mismatch ({payload.get('version')!r})",
+                    )
+                    return
+                handle.hello = payload
+                handle.proc = self._pending_procs.pop(payload.get("pid"), None)
+            elif kind == wire.MSG_HEARTBEAT:
+                pass  # last_seen already updated
+            elif kind == wire.MSG_RESULT:
+                task_id = payload["task_id"]
+                handle.inflight.pop(task_id, None)
+                handle.results_delivered += 1
+                index = id_to_index.get(task_id)
+                if index is None or index in results:
+                    # Stale (previous batch) or already settled elsewhere:
+                    # at-least-once delivery collapses to exactly-once here.
+                    self.stats["duplicates_dropped"] += 1
+                else:
+                    results[index] = payload["result"]
+            elif kind == wire.MSG_ERROR:
+                task_id = payload["task_id"]
+                handle.inflight.pop(task_id, None)
+                if task_id in id_to_index:
+                    raise ClusterError(
+                        "replicate failed on a cluster worker: "
+                        f"{payload['message']} (execution is deterministic, "
+                        "so reassignment cannot help)",
+                        retryable=False,
+                    )
+
+    # -- teardown --------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop workers, close sockets, release the listener."""
+        for handle in list(self._workers.values()):
+            try:
+                handle.send(wire.MSG_SHUTDOWN, {})
+            except OSError:
+                pass
+            try:
+                handle.sock.close()
+            except OSError:
+                pass
+            if handle.proc is not None:
+                self._reap(handle.proc)
+        self._workers.clear()
+        for proc in self._pending_procs.values():
+            self._reap(proc)
+        self._pending_procs.clear()
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        self._state_cache = None
+
+    @staticmethod
+    def _reap(proc: "subprocess.Popen") -> None:
+        try:
+            proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+            try:
+                proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    def __del__(self) -> None:
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterBackend(n_workers={self.n_workers}, "
+            f"host={self.host!r}, spawn_workers={self.spawn_workers})"
+        )

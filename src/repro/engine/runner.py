@@ -23,6 +23,7 @@ from repro.engine.backends import (
     ExecutionBackend,
     ReplicateSpec,
     SharedStateRef,
+    execute_with_retry,
     resolve_backend,
 )
 from repro.engine.results import RunResult
@@ -96,12 +97,19 @@ class MonteCarloRunner:
         is the standard rate-1 Poisson model.
     backend:
         Execution backend: an
-        :class:`~repro.engine.backends.ExecutionBackend`, ``"serial"``,
-        ``"process"``, or ``None`` to choose from ``n_workers`` (falling
-        back to the ``REPRO_WORKERS`` environment variable, then serial).
+        :class:`~repro.engine.backends.ExecutionBackend`, a registered
+        backend name (``"serial"``, ``"process"``, ``"cluster"``), or
+        ``None`` to choose from ``n_workers`` (falling back to the
+        ``REPRO_WORKERS`` environment variable, then serial).
     n_workers:
-        Worker-process count used when ``backend`` is ``None`` or
-        ``"process"``; 1 means serial.
+        Worker count used when ``backend`` is ``None`` or a name;
+        1 means serial.
+    max_batch_retries:
+        How many times a batch is re-executed after a *retryable*
+        backend failure (e.g. the cluster backend losing its whole
+        fleet mid-batch).  Replicate streams are functions of the specs
+        alone, so a retried batch is bit-identical to an undisturbed
+        one.  Deterministic failures never retry.
     """
 
     def __init__(
@@ -116,13 +124,19 @@ class MonteCarloRunner:
         clock_factory: "Callable[[np.random.Generator], object] | None" = None,
         backend: "ExecutionBackend | str | None" = None,
         n_workers: "int | None" = None,
+        max_batch_retries: int = 1,
     ) -> None:
+        if max_batch_retries < 0:
+            raise SimulationError(
+                f"max_batch_retries must be >= 0, got {max_batch_retries}"
+            )
         self.graph = graph
         self.algorithm_factory = algorithm_factory
         self.initial_values = initial_values
         self.seed = seed
         self.clock_factory = clock_factory
         self.backend = resolve_backend(backend, n_workers=n_workers)
+        self.max_batch_retries = max_batch_retries
 
     def shared_state(self) -> "dict[str, object]":
         """The configuration's immutable payload for shared-state shipping.
@@ -215,7 +229,9 @@ class MonteCarloRunner:
     def run(self, n_replicates: int, **run_kwargs: object) -> list[RunResult]:
         """Execute ``n_replicates`` independent runs; kwargs go to ``run``."""
         specs = self.build_specs(n_replicates, **run_kwargs)
-        results = self.backend.execute(specs)
+        results = execute_with_retry(
+            self.backend, specs, max_retries=self.max_batch_retries
+        )
         if len(results) != len(specs):
             raise SimulationError(
                 f"backend {self.backend.name!r} returned {len(results)} "

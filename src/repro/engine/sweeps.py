@@ -69,7 +69,11 @@ from repro.engine.averaging_time import (
     quantile_estimate,
     quantile_index,
 )
-from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.backends import (
+    ExecutionBackend,
+    execute_with_retry,
+    resolve_backend,
+)
 from repro.engine.results import RunResult
 from repro.engine.runner import MonteCarloRunner
 from repro.errors import SweepError
@@ -700,6 +704,15 @@ class SweepRunner:
         Purely a transport choice: results are bit-identical either way
         (the determinism suite pins this), so disable it only to measure
         the shipping itself.
+    max_round_retries:
+        How many times one round's batch is re-executed after a
+        *retryable* backend failure (exception with a truthy
+        ``retryable`` attribute — the cluster backend raises one when
+        its whole fleet is lost mid-batch but can be rebuilt).  Samples
+        are only consumed from complete batches and every replicate's
+        stream is a function of its spec, so a retried round is
+        bit-identical to an undisturbed one; ``stats["round_retries"]``
+        counts them.
     """
 
     def __init__(
@@ -713,7 +726,12 @@ class SweepRunner:
         checkpoint_path: "str | Path | None" = None,
         keep_run_results: bool = False,
         share_state: bool = True,
+        max_round_retries: int = 1,
     ) -> None:
+        if max_round_retries < 0:
+            raise SweepError(
+                f"max_round_retries must be >= 0, got {max_round_retries}"
+            )
         self.spec = spec
         self.seed = seed
         self.budget = budget if budget is not None else ReplicateBudget.fixed(8)
@@ -723,6 +741,7 @@ class SweepRunner:
         )
         self.keep_run_results = keep_run_results
         self.share_state = share_state
+        self.max_round_retries = max_round_retries
         #: Raw results per settled point index (when ``keep_run_results``).
         self.run_results: "dict[int, list[RunResult]]" = {}
         #: Scheduling telemetry from the last :meth:`run` (wall-clock
@@ -877,6 +896,10 @@ class SweepRunner:
             self.run_results[state.point.index] = state.run_results[:n_used]
         return result
 
+    def _count_round_retry(self, exc: Exception) -> None:
+        """Telemetry hook for :func:`execute_with_retry`."""
+        self.stats["round_retries"] += 1
+
     def run(self) -> SweepResult:
         """Run the sweep to completion and return its aggregation.
 
@@ -893,6 +916,7 @@ class SweepRunner:
             "rounds": 0,
             "replicates_scheduled": 0,
             "points_resumed": len(done),
+            "round_retries": 0,
         }
         states = [
             self._prepare_state(point)
@@ -937,10 +961,13 @@ class SweepRunner:
                 for spec in specs:
                     batch.append(spec)
                     owners.append((state, spec.index))
-            if self.share_state:
-                results = self.backend.execute_shared(batch, shared_state)
-            else:
-                results = self.backend.execute(batch)
+            results = execute_with_retry(
+                self.backend,
+                batch,
+                shared_state=shared_state if self.share_state else None,
+                max_retries=self.max_round_retries,
+                on_retry=self._count_round_retry,
+            )
             if len(results) != len(batch):
                 raise SweepError(
                     f"backend {self.backend.name!r} returned {len(results)} "
@@ -991,6 +1018,7 @@ def run_sweep(
     n_workers: "int | None" = None,
     checkpoint_path: "str | Path | None" = None,
     share_state: bool = True,
+    max_round_retries: int = 1,
 ) -> SweepResult:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
@@ -1001,4 +1029,5 @@ def run_sweep(
         n_workers=n_workers,
         checkpoint_path=checkpoint_path,
         share_state=share_state,
+        max_round_retries=max_round_retries,
     ).run()

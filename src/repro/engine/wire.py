@@ -1,0 +1,159 @@
+"""Length-prefixed pickle framing for the cluster backend's TCP links.
+
+The cluster protocol (:mod:`repro.engine.cluster`) exchanges a handful of
+message kinds between one coordinator and its workers.  This module owns
+the byte-level contract so both sides — and the fault-injection tests —
+speak exactly the same dialect:
+
+* a **frame** is a 4-byte big-endian length followed by a pickled
+  ``(kind, payload)`` tuple;
+* :class:`FrameDecoder` turns an arbitrary byte stream back into frames
+  (the coordinator reads sockets readiness-driven, so frames arrive
+  fragmented and coalesced);
+* :class:`Connection` wraps a socket with a send lock (a worker's
+  heartbeat thread and its result sends share one socket) and a blocking
+  frame reader for the worker's simple receive loop.
+
+Payloads are plain dicts of picklable values.  Pickle is safe here for
+the same reason it is in :class:`~repro.engine.backends
+.ProcessPoolBackend`: both ends are the same trusted codebase, spawned
+by (or pointed at) the same user — the cluster protocol is an IPC
+transport, not a public network service.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Any
+
+from repro.errors import ClusterError
+
+#: Protocol version, exchanged in HELLO; bumped on any wire change.
+WIRE_VERSION = 1
+
+#: Frame length prefix: 4-byte unsigned big-endian.
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on a single frame (guards against a corrupted length
+#: prefix allocating gigabytes, not against hostile peers).
+MAX_FRAME_BYTES = 1 << 30
+
+# -- message kinds -----------------------------------------------------
+#: Worker -> coordinator, once per connection: {"version", "pid"}.
+MSG_HELLO = "hello"
+#: Coordinator -> worker: {"digest", "blob"} — a pickled shared-state
+#: mapping, installed worker-side (at most once per digest per worker).
+MSG_STATE = "state"
+#: Coordinator -> worker: {"task_id", "spec"} — one replicate to run.
+MSG_TASK = "task"
+#: Worker -> coordinator: {"task_id", "result"} — the finished replicate.
+MSG_RESULT = "result"
+#: Worker -> coordinator: {"task_id", "message"} — the replicate raised.
+MSG_ERROR = "error"
+#: Worker -> coordinator, periodic liveness signal: {}.
+MSG_HEARTBEAT = "heartbeat"
+#: Coordinator -> worker: {} — finish up and exit cleanly.
+MSG_SHUTDOWN = "shutdown"
+
+
+def encode_frame(kind: str, payload: "Any") -> bytes:
+    """Serialize one message into its on-the-wire bytes."""
+    body = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "wire limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser for a readiness-driven receive path.
+
+    Feed it whatever ``recv`` returned; it yields every frame completed
+    so far and buffers the rest.  A single frame may take many feeds to
+    complete, and one feed may complete many frames.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> "list[tuple[str, Any]]":
+        """Absorb ``data`` and return all newly completed frames."""
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ClusterError(
+                    f"peer announced a {length}-byte frame (limit "
+                    f"{MAX_FRAME_BYTES}); stream is corrupt"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                break
+            body = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            kind, payload = pickle.loads(body)
+            frames.append((kind, payload))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+
+class Connection:
+    """A framed, lock-protected view of one socket.
+
+    ``send`` is serialized with a lock so a worker's heartbeat thread
+    and its main loop can share the connection; ``recv`` is the blocking
+    reader used by the worker (the coordinator reads readiness-driven
+    through :class:`FrameDecoder` instead).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        self._decoder = FrameDecoder()
+        #: Frames decoded but not yet returned (the coordinator pipelines
+        #: sends — STATE then TASK, TASK then TASK — so one recv() off
+        #: the socket can complete several frames).
+        self._queued: "list[tuple[str, Any]]" = []
+
+    def send(self, kind: str, payload: "Any") -> None:
+        """Send one frame (atomic with respect to other senders)."""
+        data = encode_frame(kind, payload)
+        with self._send_lock:
+            self.sock.sendall(data)
+
+    def recv(self) -> "tuple[str, Any] | None":
+        """Block until one full frame is available; ``None`` on clean EOF."""
+        while not self._queued:
+            data = self.sock.recv(65536)
+            if not data:
+                if self._decoder.pending_bytes:
+                    raise ClusterError(
+                        "connection closed mid-frame "
+                        f"({self._decoder.pending_bytes} bytes pending)"
+                    )
+                return None
+            self._queued.extend(self._decoder.feed(data))
+        return self._queued.pop(0)
+
+    def close(self) -> None:
+        """Close the underlying socket, swallowing teardown races."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

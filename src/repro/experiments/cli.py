@@ -29,6 +29,17 @@ All grid experiments are declared as sweeps — E1/E2/E5/E10 run through
 the same scheduler the E1/E2/E5/E10 reports aggregate::
 
     python -m repro.experiments.cli sweep E10 --scale smoke --workers 2
+
+Run a sweep on the fault-tolerant cluster backend (2 locally spawned
+TCP workers; byte-identical artifacts, even under worker crashes — see
+:mod:`repro.engine.cluster` and docs/sweeps.md)::
+
+    python -m repro.experiments.cli sweep E3 --backend cluster --workers 2
+
+Attach a worker to a running coordinator (same machine or another
+host)::
+
+    python -m repro.experiments.cli worker --connect 192.0.2.10:7733
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ import sys
 from repro.engine.backends import (
     WORKERS_ENV_VAR,
     default_n_workers,
+    registered_backends,
     scoped_shared_backends,
 )
 from repro.engine.sweeps import ReplicateBudget, SweepRunner
@@ -104,49 +116,108 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--scale", choices=SCALES, default=None)
     sweep.add_argument(
-        "--seed", type=int, default=0,
+        "--seed",
+        type=int,
+        default=0,
         help="sweep root seed (per-configuration streams derive from it)",
     )
     sweep.add_argument(
-        "--workers", type=int, default=None, metavar="N",
+        "--backend",
+        choices=registered_backends(),
+        default=None,
+        help="execution backend for the configuration x replicate fan-out "
+        "(default: chosen from --workers); 'cluster' spawns --workers "
+        "local TCP workers and tolerates their failure — results are "
+        "byte-identical across all backends for the same seed",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
         help="worker processes for the configuration x replicate fan-out "
         f"(default: ${WORKERS_ENV_VAR} or serial); results are identical "
         "across worker counts for the same seed",
     )
     sweep.add_argument(
-        "--target-ci", type=float, default=None, metavar="W",
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="W",
         help="adaptive budget: stop a configuration once the bootstrap CI "
         "on the target quantile has relative width <= W",
     )
     sweep.add_argument(
-        "--min-replicates", type=int, default=None, metavar="N",
+        "--min-replicates",
+        type=int,
+        default=None,
+        metavar="N",
         help="adaptive budget floor (never settle on fewer replicates)",
     )
     sweep.add_argument(
-        "--max-replicates", type=int, default=None, metavar="N",
+        "--max-replicates",
+        type=int,
+        default=None,
+        metavar="N",
         help="adaptive budget cap (points hitting it are flagged "
         "budget_exhausted)",
     )
     sweep.add_argument(
-        "--round-size", type=int, default=None, metavar="N",
+        "--round-size",
+        type=int,
+        default=None,
+        metavar="N",
         help="replicates added per adaptive round after the floor",
     )
     sweep.add_argument(
-        "--replicates", type=int, default=None, metavar="N",
+        "--replicates",
+        type=int,
+        default=None,
+        metavar="N",
         help="fixed budget: exactly N replicates per configuration "
         "(disables the adaptive rule)",
     )
     sweep.add_argument("--out", default=None, help="directory for sweep JSON")
     sweep.add_argument(
-        "--checkpoint", default=None, metavar="PATH",
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
         help="JSON checkpoint written after each round; an existing file "
         "resumes the sweep, skipping settled configurations",
     )
     sweep.add_argument(
-        "--no-shared-state", action="store_true",
+        "--no-shared-state",
+        action="store_true",
         help="pickle each configuration's state into every replicate spec "
         "instead of shipping it once per worker (measurement/debugging "
         "only; results are bit-identical either way)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="attach a cluster worker process to a running coordinator",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator's address (ClusterBackend prints/exposes it "
+        "via its .address property)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="liveness heartbeat period (must be well under the "
+        "coordinator's heartbeat timeout)",
+    )
+    worker.add_argument(
+        "--fault",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan (testing/chaos only): comma-separated "
+        "die-after:N, drop-after:N, duplicate-results, slow:SECONDS",
     )
 
     subparsers.add_parser("list", help="list available experiments")
@@ -189,11 +260,18 @@ def _run_sweep_command(args) -> int:
             spec,
             seed=args.seed,
             budget=budget,
+            backend=args.backend,
             n_workers=args.workers,
             checkpoint_path=args.checkpoint,
             share_state=not args.no_shared_state,
         )
-        result = runner.run()
+        try:
+            result = runner.run()
+        finally:
+            # Backends owning external resources (the cluster backend's
+            # worker fleet and listener) release them here; serial and
+            # the scoped shared process pools make this a no-op.
+            runner.backend.shutdown()
     print(render_sweep_table(result).render())
     print()
     print(render_sweep_stats(result, runner.stats))
@@ -204,6 +282,34 @@ def _run_sweep_command(args) -> int:
     if exhausted:
         print(f"warning: {exhausted} configuration(s) hit the replicate cap")
     return 0
+
+
+def _run_worker_command(args) -> int:
+    from repro.engine.cluster import run_worker
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not 0 < port < 65536:
+        print(
+            f"--connect expects HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.heartbeat_interval <= 0:
+        print(
+            f"--heartbeat-interval must be positive, got {args.heartbeat_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    return run_worker(
+        host,
+        port,
+        fault=args.fault,
+        heartbeat_interval=args.heartbeat_interval,
+    )
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -217,9 +323,15 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"{experiment_id}: {summary}{sweepable}")
         return 0
 
+    if args.command == "worker":
+        try:
+            return _run_worker_command(args)
+        except ReproError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
     if args.workers is not None and args.workers < 1:
-        print(f"--workers must be positive, got {args.workers}",
-              file=sys.stderr)
+        print(f"--workers must be positive, got {args.workers}", file=sys.stderr)
         return 2
 
     if args.command == "sweep":

@@ -1,0 +1,198 @@
+"""Fault-injection scenarios for the cluster backend, end to end.
+
+Every scenario runs a whole sweep (or the E3 acceptance sweep) through
+:class:`~repro.engine.cluster.ClusterBackend` under an injected fault —
+a worker killed mid-round, a dropped connection, duplicated result
+delivery, a straggler — and asserts the two halves of the contract:
+
+* the final :class:`~repro.engine.sweeps.SweepResult` artifact is
+  **byte-identical** to a serial rerun (the reproducibility guarantee
+  survives failure and recovery);
+* the coordinator's reassignment/dedup/respawn counters match what the
+  injected fault should have caused (the recovery machinery actually
+  engaged — the run didn't just get lucky).
+
+Builders and algorithm factories live at module level so they pickle to
+worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms.vanilla import VanillaGossip
+from repro.engine.backends import SerialBackend
+from repro.engine.cluster import ClusterBackend, FaultPlan
+from repro.engine.sweeps import (
+    PointConfig,
+    ReplicateBudget,
+    SweepAxis,
+    SweepRunner,
+    SweepSpec,
+)
+from repro.graphs.topologies import complete_graph
+
+pytestmark = pytest.mark.slow
+
+
+def build_complete_point(*, n: int) -> PointConfig:
+    return PointConfig(
+        graph=complete_graph(int(n)),
+        algorithm_factory=VanillaGossip,
+        initial_values=[float(i) for i in range(int(n))],
+        max_time=50.0,
+        max_events=100_000,
+    )
+
+
+def small_spec() -> SweepSpec:
+    return SweepSpec(
+        name="faults",
+        axes=(SweepAxis("n", (5, 6, 7)),),
+        builder=build_complete_point,
+    )
+
+
+#: 3 points x 4 replicates = 12 work units in the first (only) round —
+#: enough in-flight traffic that a worker dying after 2 results always
+#: leaves specs to reassign.
+BUDGET = ReplicateBudget.fixed(4)
+
+
+def sweep_json(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """One serial run of the fault sweep, shared by every scenario."""
+    return SweepRunner(small_spec(), seed=11, budget=BUDGET).run()
+
+
+def run_cluster_sweep(backend) -> "tuple[str, dict]":
+    try:
+        result = SweepRunner(
+            small_spec(), seed=11, budget=BUDGET, backend=backend
+        ).run()
+        return sweep_json(result), dict(backend.stats)
+    finally:
+        backend.shutdown()
+
+
+class TestFaultScenarios:
+    def test_worker_killed_mid_round(self, serial_reference):
+        """Crash (no goodbye) after 2 results: in-flight specs must be
+        reassigned, the slot respawned, and the artifact unchanged."""
+        backend = ClusterBackend(2, worker_faults=["die-after:2", None])
+        payload, stats = run_cluster_sweep(backend)
+        assert payload == sweep_json(serial_reference)
+        assert stats["worker_failures"] >= 1
+        assert stats["reassigned"] >= 1
+        assert stats["respawns"] >= 1
+
+    def test_connection_dropped_mid_round(self, serial_reference):
+        """A network-style drop (socket closed, process exits cleanly)
+        takes the same recovery path as a crash."""
+        backend = ClusterBackend(2, worker_faults=["drop-after:1", None])
+        payload, stats = run_cluster_sweep(backend)
+        assert payload == sweep_json(serial_reference)
+        assert stats["worker_failures"] >= 1
+        assert stats["reassigned"] >= 1
+
+    def test_duplicate_result_delivery_collapses(self, serial_reference):
+        """A worker sending every result twice: at-least-once delivery
+        must collapse to exactly-once in the coordinator."""
+        backend = ClusterBackend(
+            2, worker_faults=["duplicate-results", "duplicate-results"]
+        )
+        payload, stats = run_cluster_sweep(backend)
+        assert payload == sweep_json(serial_reference)
+        # Every one of the 12 results was delivered twice and none may
+        # be double-counted.  The batch ends the instant the last unique
+        # result lands, so each worker's final in-flight duplicate can
+        # legitimately go unread — at most one per worker.
+        assert 10 <= stats["duplicates_dropped"] <= 12
+        assert stats["worker_failures"] == 0
+
+    def test_straggler_not_declared_dead(self, serial_reference):
+        """A slow worker keeps heartbeating while it computes: the
+        coordinator must wait for it, not reassign its specs."""
+        backend = ClusterBackend(
+            2,
+            worker_faults=[FaultPlan(slow=0.15), None],
+            heartbeat_timeout=5.0,
+        )
+        payload, stats = run_cluster_sweep(backend)
+        assert payload == sweep_json(serial_reference)
+        assert stats["worker_failures"] == 0
+        assert stats["reassigned"] == 0
+        assert stats["duplicates_dropped"] == 0
+
+    def test_full_fleet_loss_retried_at_round_level(self, serial_reference):
+        """Everything dies mid-batch with no respawn budget: the backend
+        raises a *retryable* error, the sweep scheduler re-runs the
+        round against a fresh fleet, and the artifact is unchanged."""
+        backend = ClusterBackend(
+            1, worker_faults=["die-after:2"], max_respawns=0
+        )
+        try:
+            runner = SweepRunner(
+                small_spec(), seed=11, budget=BUDGET, backend=backend
+            )
+            result = runner.run()
+            assert sweep_json(result) == sweep_json(serial_reference)
+            assert runner.stats["round_retries"] >= 1
+            assert backend.stats["worker_failures"] >= 1
+        finally:
+            backend.shutdown()
+
+
+class TestAcceptanceE3ClusterSweep:
+    """The PR's acceptance criterion, pinned as a regression test: the
+    E3 smoke sweep on 2 local cluster workers produces a JSON artifact
+    byte-identical (``cmp`` semantics: raw file bytes) to the serial
+    rerun — including when one worker is killed mid-round."""
+
+    BUDGET = ReplicateBudget.adaptive(
+        target_ci=0.8, min_replicates=3, max_replicates=16, round_size=2
+    )
+
+    @pytest.fixture(scope="class")
+    def e3_artifacts(self, tmp_path_factory):
+        from repro.experiments.specs_sweeps import get_sweep
+
+        base = tmp_path_factory.mktemp("e3")
+        spec = get_sweep("E3", scale="smoke").with_axis("n", [16, 24])
+        serial_path = SweepRunner(
+            spec, seed=0, budget=self.BUDGET, backend=SerialBackend()
+        ).run().save(base / "serial.json")
+        return spec, serial_path
+
+    def test_cluster_artifact_cmp_identical(self, e3_artifacts, tmp_path):
+        spec, serial_path = e3_artifacts
+        backend = ClusterBackend(2)
+        try:
+            path = SweepRunner(
+                spec, seed=0, budget=self.BUDGET, backend=backend
+            ).run().save(tmp_path / "cluster.json")
+        finally:
+            backend.shutdown()
+        assert path.read_bytes() == serial_path.read_bytes()
+
+    def test_cluster_artifact_cmp_identical_under_worker_kill(
+        self, e3_artifacts, tmp_path
+    ):
+        spec, serial_path = e3_artifacts
+        backend = ClusterBackend(2, worker_faults=["die-after:2", None])
+        try:
+            path = SweepRunner(
+                spec, seed=0, budget=self.BUDGET, backend=backend
+            ).run().save(tmp_path / "cluster-faulty.json")
+            stats = dict(backend.stats)
+        finally:
+            backend.shutdown()
+        assert path.read_bytes() == serial_path.read_bytes()
+        assert stats["worker_failures"] >= 1
+        assert stats["reassigned"] >= 1

@@ -63,24 +63,56 @@ def assert_results_identical(first, second):
         assert results_identical(a, b)
 
 
-@pytest.mark.slow
 class TestDeterminismAcrossBackends:
-    def test_process_pool_matches_serial_exactly(self):
+    """The cross-backend matrix: each test runs once per registered
+    backend flavor (serial / process pool / TCP cluster) through the
+    shared ``backend`` fixture and must reproduce the serial reference
+    bit-for-bit."""
+
+    def test_backend_matches_serial_exactly(self, backend):
         """The headline guarantee: same seed => bit-identical results."""
         graph = complete_graph(8)
         x0 = [float(i) for i in range(8)]
         serial = MonteCarloRunner(
             graph, VanillaGossip, x0, seed=42, backend=SerialBackend()
         ).run(6, max_events=400, thresholds=(0.5, 0.1))
-        pooled = MonteCarloRunner(
-            graph, VanillaGossip, x0, seed=42, backend=ProcessPoolBackend(2)
+        other = MonteCarloRunner(
+            graph, VanillaGossip, x0, seed=42, backend=backend
         ).run(6, max_events=400, thresholds=(0.5, 0.1))
-        assert_results_identical(serial, pooled)
+        assert_results_identical(serial, other)
         assert (
             ReplicateSummary.from_results(serial).to_dict()
-            == ReplicateSummary.from_results(pooled).to_dict()
+            == ReplicateSummary.from_results(other).to_dict()
         )
 
+    def test_random_workload_matches_across_backends(self, backend):
+        """Per-replicate workload streams are backend-independent too."""
+        graph = complete_graph(8)
+        serial = MonteCarloRunner(
+            graph, VanillaGossip, zero_mean_gaussian_workload, seed=7,
+            backend="serial",
+        ).run(4, max_events=200)
+        other = MonteCarloRunner(
+            graph, VanillaGossip, zero_mean_gaussian_workload, seed=7,
+            backend=backend,
+        ).run(4, max_events=200)
+        assert_results_identical(serial, other)
+
+    def test_algorithm_factory_across_backends(self, backend):
+        graph = complete_graph(6)
+        x0 = [float(i) for i in range(6)]
+        factory = AlgorithmFactory(ConvexGossip, 0.75)
+        serial = MonteCarloRunner(
+            graph, factory, x0, seed=3, backend="serial"
+        ).run(3, max_events=150)
+        other = MonteCarloRunner(
+            graph, factory, x0, seed=3, backend=backend
+        ).run(3, max_events=150)
+        assert_results_identical(serial, other)
+
+
+@pytest.mark.slow
+class TestWorkerCountIndependence:
     def test_deterministic_across_worker_counts(self):
         """2 vs 3 workers: scheduling must never leak into results."""
         graph = complete_graph(8)
@@ -92,19 +124,6 @@ class TestDeterminismAcrossBackends:
             graph, VanillaGossip, x0, seed=9, n_workers=3
         ).run(5, max_events=300)
         assert_results_identical(two, three)
-
-    def test_random_workload_matches_across_backends(self):
-        """Per-replicate workload streams are backend-independent too."""
-        graph = complete_graph(8)
-        serial = MonteCarloRunner(
-            graph, VanillaGossip, zero_mean_gaussian_workload, seed=7,
-            backend="serial",
-        ).run(4, max_events=200)
-        pooled = MonteCarloRunner(
-            graph, VanillaGossip, zero_mean_gaussian_workload, seed=7,
-            backend=ProcessPoolBackend(2),
-        ).run(4, max_events=200)
-        assert_results_identical(serial, pooled)
 
     def test_pool_is_reused_across_runs(self):
         """One backend instance keeps its worker pool warm between
@@ -127,22 +146,9 @@ class TestDeterminismAcrossBackends:
         assert_results_identical(first, runner.run(3, max_events=100))
         backend.shutdown()
 
-    def test_algorithm_factory_through_process_pool(self):
-        graph = complete_graph(6)
-        x0 = [float(i) for i in range(6)]
-        factory = AlgorithmFactory(ConvexGossip, 0.75)
-        serial = MonteCarloRunner(
-            graph, factory, x0, seed=3, backend="serial"
-        ).run(3, max_events=150)
-        pooled = MonteCarloRunner(
-            graph, factory, x0, seed=3, backend=ProcessPoolBackend(2)
-        ).run(3, max_events=150)
-        assert_results_identical(serial, pooled)
 
-
-@pytest.mark.slow
 class TestFailureModelsThroughBackends:
-    """Satellite coverage: both failure models wrapped by the backends."""
+    """Satellite coverage: both failure models through every backend."""
 
     @pytest.mark.parametrize(
         "clock_factory",
@@ -153,7 +159,9 @@ class TestFailureModelsThroughBackends:
         ],
         ids=["lossy", "failing-rate", "failing-scripted"],
     )
-    def test_failure_clock_deterministic_across_backends(self, clock_factory):
+    def test_failure_clock_deterministic_across_backends(
+        self, clock_factory, backend
+    ):
         graph = complete_graph(6)
         assert graph.n_edges == 15
         x0 = [float(i) for i in range(6)]
@@ -161,11 +169,11 @@ class TestFailureModelsThroughBackends:
             graph, VanillaGossip, x0, seed=11,
             clock_factory=clock_factory, backend="serial",
         ).run(4, max_events=200)
-        pooled = MonteCarloRunner(
+        other = MonteCarloRunner(
             graph, VanillaGossip, x0, seed=11,
-            clock_factory=clock_factory, backend=ProcessPoolBackend(2),
+            clock_factory=clock_factory, backend=backend,
         ).run(4, max_events=200)
-        assert_results_identical(serial, pooled)
+        assert_results_identical(serial, other)
 
     def test_factories_pickle(self):
         for factory in (
@@ -178,6 +186,7 @@ class TestFailureModelsThroughBackends:
             clone = pickle.loads(pickle.dumps(factory))
             assert type(clone) is type(factory)
 
+    @pytest.mark.slow
     def test_scripted_deaths_silence_edges_under_pool(self):
         """A scripted death observable through the process backend."""
         graph = complete_graph(6)
@@ -301,6 +310,20 @@ class TestBackendSelection:
         )
         assert shared._pool is pool  # warm pool reused, not restarted
         assert first.samples.tolist() == second.samples.tolist()
+
+    def test_env_var_reaches_named_backends(self, monkeypatch):
+        """REPRO_WORKERS must steer name-resolved backends too, not just
+        the backend=None path."""
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        process = resolve_backend("process")
+        assert process.n_workers == 3
+        cluster = resolve_backend("cluster")
+        try:
+            assert cluster.n_workers == 3
+        finally:
+            cluster.shutdown()
+        # An explicit count still wins over the environment.
+        assert resolve_backend("process", n_workers=2).n_workers == 2
 
     def test_env_var_selects_workers(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "5")

@@ -1,0 +1,356 @@
+"""Unit tests for the cluster backend's building blocks.
+
+The end-to-end fault-injection scenarios (kill/drop/duplicate/straggler
+against whole sweeps) live in ``tests/integration/test_cluster_faults.py``;
+this module pins the pieces those scenarios are built from: wire framing,
+fault-plan parsing, backend registration/validation, exactly-once result
+assembly, shared-state shipping economy, and heartbeat-based failure
+detection against a scripted in-test worker.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.algorithms.vanilla import VanillaGossip
+from repro.engine import wire
+from repro.engine.backends import (
+    SerialBackend,
+    registered_backends,
+    resolve_backend,
+    shutdown_shared_backends,
+)
+from repro.engine.cluster import ClusterBackend, FaultPlan
+from repro.engine.results import results_identical
+from repro.engine.runner import MonteCarloRunner
+from repro.errors import ClusterError, SimulationError
+from repro.graphs.topologies import complete_graph
+
+
+@pytest.fixture(autouse=True)
+def _release_shared_pools():
+    yield
+    shutdown_shared_backends()
+
+
+def make_runner(backend=None, seed: int = 3) -> MonteCarloRunner:
+    graph = complete_graph(6)
+    x0 = [float(i) for i in range(6)]
+    return MonteCarloRunner(graph, VanillaGossip, x0, seed=seed, backend=backend)
+
+
+class UnsimulatableGossip(VanillaGossip):
+    """Raises on setup — a deterministic failure no reassignment fixes.
+
+    Module-level so the spec pickles to cluster workers.
+    """
+
+    def setup(self, graph, values, rng):
+        raise ValueError("scripted failure")
+
+
+class TestWireFraming:
+    def test_frame_round_trips(self):
+        decoder = wire.FrameDecoder()
+        frames = decoder.feed(wire.encode_frame("task", {"task_id": 7}))
+        assert frames == [("task", {"task_id": 7})]
+        assert decoder.pending_bytes == 0
+
+    def test_fragmented_and_coalesced_streams(self):
+        """One frame over many feeds, and many frames in one feed."""
+        payloads = [{"i": i, "blob": bytes(50 * i)} for i in range(5)]
+        stream = b"".join(
+            wire.encode_frame("result", payload) for payload in payloads
+        )
+        decoder = wire.FrameDecoder()
+        collected = []
+        step = 7
+        for offset in range(0, len(stream), step):
+            collected.extend(decoder.feed(stream[offset:offset + step]))
+        assert [payload for _, payload in collected] == payloads
+        # And the whole stream in one gulp.
+        assert len(wire.FrameDecoder().feed(stream)) == len(payloads)
+
+    def test_corrupt_length_prefix_rejected(self):
+        decoder = wire.FrameDecoder()
+        with pytest.raises(ClusterError, match="corrupt"):
+            decoder.feed(b"\xff\xff\xff\xff12345678")
+
+    def test_connection_queues_coalesced_frames(self):
+        """The worker's blocking reader must hand back pipelined frames
+        one at a time, in order."""
+        left, right = socket.socketpair()
+        try:
+            conn = wire.Connection(right)
+            left.sendall(
+                wire.encode_frame("state", {"digest": "d"})
+                + wire.encode_frame("task", {"task_id": 1})
+            )
+            assert conn.recv() == ("state", {"digest": "d"})
+            assert conn.recv() == ("task", {"task_id": 1})
+            left.close()
+            assert conn.recv() is None  # clean EOF
+        finally:
+            right.close()
+
+    def test_mid_frame_eof_raises(self):
+        left, right = socket.socketpair()
+        try:
+            conn = wire.Connection(right)
+            left.sendall(wire.encode_frame("task", {"task_id": 1})[:-3])
+            left.close()
+            with pytest.raises(ClusterError, match="mid-frame"):
+                conn.recv()
+        finally:
+            right.close()
+
+
+class TestFaultPlan:
+    def test_parse_round_trips(self):
+        plan = FaultPlan.parse("die-after:3,slow:0.5")
+        assert plan == FaultPlan(die_after=3, slow=0.5)
+        assert FaultPlan.parse(plan.to_text()) == plan
+        assert FaultPlan.parse(None) == FaultPlan()
+        assert FaultPlan().to_text() is None
+        full = FaultPlan(drop_after=2, duplicate_results=True)
+        assert FaultPlan.parse(full.to_text()) == full
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ClusterError, match="unknown fault token"):
+            FaultPlan.parse("explode")
+        with pytest.raises(ClusterError, match="malformed"):
+            FaultPlan.parse("die-after:soon")
+        with pytest.raises(ClusterError, match="die_after"):
+            FaultPlan(die_after=0)
+        with pytest.raises(ClusterError, match="slow"):
+            FaultPlan(slow=-1.0)
+
+
+class TestRegistryAndValidation:
+    def test_cluster_is_registered(self):
+        assert {"serial", "process", "cluster"} <= set(registered_backends())
+        backend = resolve_backend("cluster", n_workers=3)
+        try:
+            assert isinstance(backend, ClusterBackend)
+            assert backend.n_workers == 3
+        finally:
+            backend.shutdown()
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(SimulationError, match="cluster"):
+            resolve_backend("threads")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ClusterError):
+            ClusterBackend(0)
+        with pytest.raises(ClusterError):
+            ClusterBackend(2, window=0)
+        with pytest.raises(ClusterError):
+            ClusterBackend(2, heartbeat_timeout=0.0)
+
+    def test_empty_batch_short_circuits(self):
+        backend = ClusterBackend(2)
+        try:
+            assert backend.execute([]) == []
+            assert backend.execute_shared([], {}) == []
+            # No batch ran, so no fleet was ever spawned.
+            assert backend.stats["batches"] == 0
+        finally:
+            backend.shutdown()
+
+    def test_unpicklable_spec_fails_fast_without_spawning(self):
+        backend = ClusterBackend(2)
+        try:
+            runner = make_runner(backend=backend)
+            runner.algorithm_factory = lambda: VanillaGossip()
+            with pytest.raises(SimulationError, match="AlgorithmFactory"):
+                runner.run(2, max_events=10)
+            assert not backend._workers and not backend._pending_procs
+        finally:
+            backend.shutdown()
+
+    def test_recorder_rejected(self):
+        from repro.engine.recorder import TraceRecorder
+
+        backend = ClusterBackend(2)
+        try:
+            with pytest.raises(SimulationError, match="recorder"):
+                make_runner(backend=backend).run(
+                    2, max_events=50, recorder=TraceRecorder(10)
+                )
+        finally:
+            backend.shutdown()
+
+
+@pytest.mark.slow
+class TestClusterExecution:
+    def test_execute_after_shutdown_rebuilds_fleet(self):
+        serial = make_runner().run(3, max_events=200)
+        backend = ClusterBackend(2)
+        try:
+            first = make_runner(backend=backend).run(3, max_events=200)
+            backend.shutdown()
+            backend.shutdown()  # idempotent
+            second = make_runner(backend=backend).run(3, max_events=200)
+            for a, b, c in zip(serial, first, second):
+                assert results_identical(a, b)
+                assert results_identical(a, c)
+        finally:
+            backend.shutdown()
+
+    def test_state_ships_at_most_once_per_worker_per_digest(self):
+        """The cluster analogue of the pool's shipping-economy pin:
+        repeated batches against the same mapping content install state
+        exactly once per worker."""
+        backend = ClusterBackend(2)
+        try:
+            runner = make_runner(backend=backend)
+            slim = runner.build_specs(6, shared_key="k", max_events=200)
+            reference = SerialBackend().execute_shared(
+                slim, {"k": runner.shared_state()}
+            )
+            for _ in range(3):
+                # A fresh, equal-but-distinct mapping every batch: the
+                # content digest must recognize it and not re-ship.
+                shipped = backend.execute_shared(
+                    slim, {"k": runner.shared_state()}
+                )
+                for a, b in zip(reference, shipped):
+                    assert results_identical(a, b)
+            assert backend.stats["state_installs"] == 2  # one per worker
+            assert backend.stats["worker_failures"] == 0
+        finally:
+            backend.shutdown()
+
+    def test_deterministic_replicate_error_propagates(self):
+        """A replicate that raises is deterministic: the batch must fail
+        with guidance, not retry forever across workers."""
+        backend = ClusterBackend(2)
+        try:
+            runner = MonteCarloRunner(
+                complete_graph(6),
+                UnsimulatableGossip,
+                [float(i) for i in range(6)],
+                seed=0,
+                backend=backend,
+                max_batch_retries=0,
+            )
+            with pytest.raises(ClusterError, match="scripted failure") as info:
+                runner.run(4, max_events=50)
+            assert not info.value.retryable
+        finally:
+            backend.shutdown()
+
+    def test_silent_worker_detected_by_heartbeat_timeout(self):
+        """A connected worker that accepts tasks but never responds (and
+        never heartbeats) must be declared dead and its in-flight specs
+        reassigned to the healthy worker."""
+        backend = ClusterBackend(1, heartbeat_timeout=1.0)
+        host, port = backend.address
+        hello_sent = threading.Event()
+
+        def silent_worker():
+            sock = socket.create_connection((host, port), timeout=10)
+            try:
+                sock.sendall(
+                    wire.encode_frame(
+                        "hello", {"version": wire.WIRE_VERSION, "pid": -1}
+                    )
+                )
+                hello_sent.set()
+                # Swallow whatever arrives, answer nothing.
+                sock.settimeout(20.0)
+                while True:
+                    if not sock.recv(65536):
+                        return
+            except OSError:
+                return
+            finally:
+                sock.close()
+
+        thread = threading.Thread(target=silent_worker, daemon=True)
+        thread.start()
+        try:
+            serial = make_runner().run(6, max_events=200)
+            results = make_runner(backend=backend).run(6, max_events=200)
+            for a, b in zip(serial, results):
+                assert results_identical(a, b)
+            assert hello_sent.wait(timeout=10)
+            assert backend.stats["worker_failures"] >= 1
+            assert backend.stats["reassigned"] >= 1
+        finally:
+            backend.shutdown()
+            thread.join(timeout=5)
+
+    def test_spawn_workers_false_accepts_attached_worker(self):
+        """An externally attached worker (the `repro worker` path, run
+        in-process here) serves a coordinator that spawns nothing."""
+        from repro.engine.cluster import run_worker
+
+        backend = ClusterBackend(1, spawn_workers=False)
+        host, port = backend.address
+        thread = threading.Thread(
+            target=run_worker,
+            args=(host, port),
+            kwargs={"heartbeat_interval": 0.2},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            serial = make_runner().run(4, max_events=200)
+            attached = make_runner(backend=backend).run(4, max_events=200)
+            for a, b in zip(serial, attached):
+                assert results_identical(a, b)
+            assert backend.stats["worker_failures"] == 0
+        finally:
+            backend.shutdown()
+            thread.join(timeout=5)
+
+    def test_spawn_workers_false_times_out_without_attachments(self):
+        backend = ClusterBackend(
+            1, spawn_workers=False, connect_timeout=0.5
+        )
+        try:
+            with pytest.raises(ClusterError, match="no worker became ready"):
+                make_runner(backend=backend).run(2, max_events=10)
+        finally:
+            backend.shutdown()
+
+
+class TestWorkerCLI:
+    """The `repro ... worker` subcommand's argument handling (the happy
+    path is exercised by every spawned-worker test above)."""
+
+    def test_malformed_connect_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        for target in ("nonsense", "localhost:notaport", "localhost:99999"):
+            assert main(["worker", "--connect", target]) == 2
+            assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_bad_heartbeat_interval_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            ["worker", "--connect", "127.0.0.1:1", "--heartbeat-interval", "0"]
+        )
+        assert code == 2
+        assert "heartbeat-interval" in capsys.readouterr().err
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(["worker", "--connect", "127.0.0.1:1", "--fault", "explode"])
+        assert code == 2
+        assert "fault token" in capsys.readouterr().err
+
+    def test_unreachable_coordinator_reports_cleanly(self, capsys):
+        from repro.experiments.cli import main
+
+        # Port 1 on localhost refuses immediately: clean exit, no traceback.
+        assert main(["worker", "--connect", "127.0.0.1:1"]) == 2
+        assert "cannot reach coordinator" in capsys.readouterr().err

@@ -143,12 +143,13 @@ class TestSlimSpecs:
         with pytest.raises(SimulationError, match="SharedStateRef"):
             execute_replicate(slim)
 
-    def test_serial_execute_shared_matches_inline_execute(self):
+    def test_execute_shared_matches_inline_execute(self, backend):
+        """One matrix over serial/process/cluster: slim specs resolved
+        against the shared mapping must equal inlined execution."""
         runner = make_runner()
         inline = runner.build_specs(4, max_events=300)
         slim = runner.build_specs(4, shared_key="k", max_events=300)
-        backend = SerialBackend()
-        reference = backend.execute(inline)
+        reference = SerialBackend().execute(inline)
         shared = backend.execute_shared(slim, {"k": runner.shared_state()})
         assert len(reference) == len(shared)
         for a, b in zip(reference, shared):
@@ -163,33 +164,26 @@ class TestSweepShipping:
         round_size=2,
     )
 
-    def test_serial_sweep_identical_with_and_without_sharing(self):
-        spec = counting_spec()
-        shared = SweepRunner(spec, seed=7, budget=self.BUDGET).run()
-        inline = SweepRunner(spec, seed=7, budget=self.BUDGET, share_state=False).run()
-        assert sweep_json(shared) == sweep_json(inline)
-
     def test_serial_sweep_never_pickles_shared_state(self):
         CountingWorkload.pickled = 0
         SweepRunner(spec := counting_spec(), seed=7, budget=self.BUDGET).run()
         assert spec.n_points == 2
         assert CountingWorkload.pickled == 0
 
-    @pytest.mark.slow
-    def test_process_sweep_identical_across_shipping_modes(self):
+    def test_sweep_identical_across_shipping_modes(self, backend):
+        """Every backend x both shipping modes, one matrix: the reported
+        sweep must be byte-identical to the serial reference."""
         spec = counting_spec()
         serial = SweepRunner(spec, seed=7, budget=self.BUDGET).run()
         for share_state in (True, False):
-            backend = ProcessPoolBackend(2)
-            pooled = SweepRunner(
+            swept = SweepRunner(
                 spec,
                 seed=7,
                 budget=self.BUDGET,
                 backend=backend,
                 share_state=share_state,
             ).run()
-            backend.shutdown()
-            assert sweep_json(pooled) == sweep_json(serial), (
+            assert sweep_json(swept) == sweep_json(serial), (
                 f"share_state={share_state} diverged from serial"
             )
 

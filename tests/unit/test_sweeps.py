@@ -159,31 +159,39 @@ class TestSweepDeterminism:
                 for a, b in zip(other_runs[index], reference_runs[index]):
                     assert results_identical(a, b)
 
+    def test_backends_agree_field_by_field(self, backend):
+        """Serial vs process vs cluster, one matrix: bit-identical
+        SweepResult and field-by-field identical raw RunResults."""
+        spec = small_spec()
+        reference_runner = SweepRunner(
+            spec, seed=5, budget=ADAPTIVE, backend=SerialBackend(),
+            keep_run_results=True,
+        )
+        reference = reference_runner.run()
+        runner = SweepRunner(
+            spec, seed=5, budget=ADAPTIVE, backend=backend,
+            keep_run_results=True,
+        )
+        other = runner.run()
+        assert sweep_json(other) == sweep_json(reference)
+        for index in reference_runner.run_results:
+            for a, b in zip(
+                runner.run_results[index], reference_runner.run_results[index]
+            ):
+                assert results_identical(a, b)
+
     @pytest.mark.slow
-    def test_backends_and_worker_counts_agree_field_by_field(self):
-        """Serial vs process, 2 vs 4 workers: bit-identical SweepResult
-        and field-by-field identical raw RunResults."""
+    def test_worker_counts_agree_byte_for_byte(self):
+        """2 vs 4 pool workers: scheduling width never leaks into results."""
         spec = small_spec()
         outcomes = {}
-        for label, backend in (
-            ("serial", SerialBackend()),
-            ("pool2", ProcessPoolBackend(2)),
-            ("pool4", ProcessPoolBackend(4)),
-        ):
-            runner = SweepRunner(
-                spec, seed=5, budget=ADAPTIVE, backend=backend,
-                keep_run_results=True,
-            )
-            outcomes[label] = (runner.run(), runner.run_results)
-            if isinstance(backend, ProcessPoolBackend):
-                backend.shutdown()
-        reference, reference_runs = outcomes["serial"]
-        for label in ("pool2", "pool4"):
-            other, other_runs = outcomes[label]
-            assert sweep_json(other) == sweep_json(reference)
-            for index in reference_runs:
-                for a, b in zip(other_runs[index], reference_runs[index]):
-                    assert results_identical(a, b)
+        for n_workers in (2, 4):
+            backend = ProcessPoolBackend(n_workers)
+            outcomes[n_workers] = SweepRunner(
+                spec, seed=5, budget=ADAPTIVE, backend=backend
+            ).run()
+            backend.shutdown()
+        assert sweep_json(outcomes[2]) == sweep_json(outcomes[4])
 
     def test_run_sweep_convenience_matches_runner(self):
         spec = small_spec()

@@ -2,9 +2,17 @@
 
 These are true microbenchmarks (multiple rounds) guarding against
 performance regressions in the hot loop that every experiment depends on.
+
+``test_kernel_scaling`` additionally persists the scalar-vs-vectorized
+replicate-throughput curve to ``results/BENCH_kernel_scaling.json`` —
+the committed copy documents the speedup the vectorized lockstep kernel
+buys on the E3-class dumbbell grid.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
@@ -77,3 +85,149 @@ def test_spectral_toolkit_cost(benchmark):
 
     spectrum = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(spectrum) == 256
+
+
+# ----------------------------------------------------------------------
+# kernel scaling (scalar event loop vs vectorized lockstep batches)
+# ----------------------------------------------------------------------
+
+#: E3-class dumbbell size and the per-replicate event budget.  The CI
+#: smoke job scales the events down (and disarms the floor); the
+#: committed artifact comes from a local run at the defaults.
+KERNEL_DUMBBELL_N = int(os.environ.get("REPRO_BENCH_KERNEL_N", "64"))
+KERNEL_EVENTS = int(os.environ.get("REPRO_BENCH_KERNEL_EVENTS", "50000"))
+#: Replicate-batch widths for the vectorized throughput curve.  The
+#: largest width is the headline the speedup floor is asserted on.
+KERNEL_WIDTHS = tuple(
+    int(token)
+    for token in os.environ.get(
+        "REPRO_BENCH_KERNEL_WIDTHS", "16,64,256,1024,2048"
+    ).split(",")
+)
+#: Scalar reference width: enough replicates to average the per-run
+#: noise without making the scalar side dominate the benchmark's cost.
+KERNEL_SCALAR_REPLICATES = int(
+    os.environ.get("REPRO_BENCH_KERNEL_SCALAR_REPLICATES", "16")
+)
+KERNEL_ROUNDS = int(os.environ.get("REPRO_BENCH_KERNEL_ROUNDS", "3"))
+#: Headline speedup floor (vectorized at the widest batch vs scalar,
+#: single process, replicate-events/second).  0 disarms the assertion —
+#: determinism is still verified and the curve still recorded.
+KERNEL_SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_KERNEL_SPEEDUP_FLOOR", "10.0"))
+
+
+def test_kernel_scaling(benchmark, capsys):
+    """Replicate throughput: scalar loop vs vectorized lockstep widths.
+
+    Three properties in one measurement pass:
+
+    * **determinism** — at every width, the vectorized kernel's leading
+      replicates are bit-identical to the scalar kernel's (checked
+      unconditionally; replicate ``i``'s substreams do not depend on how
+      many replicates run beside it, so the prefix comparison is exact);
+    * **curve** — replicate-events/second per batch width, persisted to
+      ``results/BENCH_kernel_scaling.json`` (the crossover at narrow
+      widths is part of the record: it is why the auto policy demotes
+      tiny batches to the scalar kernel);
+    * **speedup** — at the widest batch the vectorized kernel must beat
+      the scalar loop's per-replicate throughput by the floor (best
+      round against best round; both sides are warm).
+    """
+    from _stamp import write_result
+
+    from repro.engine.results import results_identical
+    from repro.engine.runner import MonteCarloRunner
+    from repro.graphs.composites import dumbbell_graph
+
+    pair = dumbbell_graph(KERNEL_DUMBBELL_N)
+    x0 = cut_aligned(pair.partition)
+
+    def run(kernel, n_replicates):
+        runner = MonteCarloRunner(pair.graph, VanillaGossip, x0, seed=42, kernel=kernel)
+        start = time.perf_counter()
+        results = runner.run(n_replicates, max_events=KERNEL_EVENTS)
+        return time.perf_counter() - start, results
+
+    def best_of(kernel, n_replicates):
+        """Best wall time over the round budget (first round warms)."""
+        times, results = [], None
+        for _ in range(KERNEL_ROUNDS):
+            seconds, results = run(kernel, n_replicates)
+            times.append(seconds)
+        return min(times), results
+
+    # Scalar reference: per-replicate event throughput of the pure
+    # Python loop (independent of replicate count — no batching there).
+    scalar_seconds, scalar_results = benchmark.pedantic(
+        lambda: best_of("scalar", KERNEL_SCALAR_REPLICATES),
+        rounds=1,
+        iterations=1,
+    )
+    scalar_eps = KERNEL_SCALAR_REPLICATES * KERNEL_EVENTS / scalar_seconds
+
+    record = {
+        "grid": (
+            f"dumbbell n={KERNEL_DUMBBELL_N} (E3-class), "
+            "cut-aligned workload, vanilla gossip"
+        ),
+        "events_per_replicate": KERNEL_EVENTS,
+        "rounds": KERNEL_ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "scalar": {
+            "replicates": KERNEL_SCALAR_REPLICATES,
+            "best_seconds": round(scalar_seconds, 4),
+            "replicate_events_per_sec": round(scalar_eps, 1),
+        },
+        "vectorized": {},
+    }
+
+    headline_speedup = 0.0
+    n_prefix = min(KERNEL_SCALAR_REPLICATES, min(KERNEL_WIDTHS))
+    for width in KERNEL_WIDTHS:
+        seconds, results = best_of("vectorized", width)
+        eps = width * KERNEL_EVENTS / seconds
+        speedup = eps / scalar_eps
+        headline_speedup = speedup
+        # Kernel contract: same seeds -> same bytes, at every width.
+        assert all(
+            results_identical(a, b)
+            for a, b in zip(scalar_results[:n_prefix], results[:n_prefix])
+        ), f"vectorized kernel diverged from scalar at width {width}"
+        record["vectorized"][str(width)] = {
+            "best_seconds": round(seconds, 4),
+            "replicate_events_per_sec": round(eps, 1),
+            "speedup_vs_scalar": round(speedup, 2),
+        }
+
+    record["headline"] = {
+        "width": KERNEL_WIDTHS[-1],
+        "speedup_vs_scalar": round(headline_speedup, 2),
+    }
+    out_path = write_result("kernel_scaling", record)
+
+    benchmark.extra_info["kernel_scaling"] = record["vectorized"]
+    with capsys.disabled():
+        print()
+        print(
+            f"kernel scaling, dumbbell n={KERNEL_DUMBBELL_N}, "
+            f"{KERNEL_EVENTS} events/replicate "
+            f"(scalar: {scalar_eps / 1e6:.2f}M replicate-events/s):"
+        )
+        for width, stats in record["vectorized"].items():
+            print(
+                f"  width {width:>5}: "
+                f"{stats['replicate_events_per_sec'] / 1e6:6.2f}M ev/s, "
+                f"{stats['speedup_vs_scalar']:5.2f}x"
+            )
+        print(f"  wrote {out_path}")
+
+    if KERNEL_SPEEDUP_FLOOR <= 0:
+        pytest.skip(
+            "speedup floor disarmed (REPRO_BENCH_KERNEL_SPEEDUP_FLOOR=0); "
+            f"determinism verified, measured {headline_speedup:.2f}x"
+        )
+    assert headline_speedup > KERNEL_SPEEDUP_FLOOR, (
+        f"vectorized speedup {headline_speedup:.2f}x at width "
+        f"{KERNEL_WIDTHS[-1]} below the {KERNEL_SPEEDUP_FLOOR}x floor "
+        f"(scalar {scalar_eps / 1e6:.2f}M replicate-events/s)"
+    )

@@ -17,6 +17,14 @@ from repro.engine.backends import (
     shutdown_shared_backends,
 )
 from repro.engine.cluster import ClusterBackend, FaultPlan, run_worker
+from repro.engine.kernels import (
+    KERNEL_CHOICES,
+    ScalarKernel,
+    SimulationKernel,
+    VectorizedBatchKernel,
+    default_kernel,
+    execute_specs,
+)
 from repro.engine.runner import MonteCarloRunner, ReplicateSummary
 from repro.engine.averaging_time import (
     AveragingTimeEstimate,
@@ -59,6 +67,12 @@ __all__ = [
     "ClusterBackend",
     "FaultPlan",
     "run_worker",
+    "KERNEL_CHOICES",
+    "ScalarKernel",
+    "SimulationKernel",
+    "VectorizedBatchKernel",
+    "default_kernel",
+    "execute_specs",
     "MonteCarloRunner",
     "ReplicateSummary",
     "AveragingTimeEstimate",

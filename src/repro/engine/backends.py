@@ -71,16 +71,21 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from repro.algorithms.base import GossipAlgorithm
-from repro.clocks.poisson import PoissonEdgeClocks
+from repro.engine.kernels import (
+    AUTO_MIN_BATCH,
+    ScalarKernel,
+    execute_specs as _kernel_execute_specs,
+    new_kernel_stats,
+)
 from repro.engine.results import RunResult
-from repro.engine.simulator import Simulator
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
-from repro.util.rng import derive_child
 
 #: Environment variable consulted when no backend/worker count is given
 #: (the CLI's ``--workers`` flag sets it for a whole experiment run).
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+_SCALAR_KERNEL = ScalarKernel()
 
 
 @dataclass(frozen=True)
@@ -109,6 +114,12 @@ class ReplicateSpec:
         rate-1 Poisson model on the graph's edges.
     run_kwargs:
         Keyword arguments forwarded to :meth:`Simulator.run`.
+    kernel:
+        Execution-kernel request (``"auto"``, ``"scalar"`` or
+        ``"vectorized"`` — see :mod:`repro.engine.kernels`).  A
+        scheduling hint, never part of the result: all kernels are
+        bit-identical, so backends are free to group eligible specs into
+        lockstep batches.
     """
 
     index: int
@@ -118,6 +129,7 @@ class ReplicateSpec:
     seed_sequence: np.random.SeedSequence
     clock_factory: "Callable[[np.random.Generator], object] | None" = None
     run_kwargs: "Mapping[str, Any]" = field(default_factory=dict)
+    kernel: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -185,17 +197,16 @@ def resolve_replicate_spec(
 
 
 def execute_replicate(spec: ReplicateSpec) -> RunResult:
-    """Run one replicate from its spec (the shared backend work function).
+    """Run one replicate from its spec through the scalar kernel.
 
-    Derives three independent substreams from the spec's seed sequence —
-    clock, workload, algorithm — so the clock process, the workload
-    sampler and the algorithm's own randomness never share a generator
-    (they historically did, coupling streams that the analysis treats as
-    independent).  The children are constructed directly (the sequences
-    ``spawn(3)`` would yield) rather than spawned, because spawning
-    mutates the spec's child counter and re-executing the same spec —
-    e.g. comparing backends on one ``build_specs`` output — must stay
-    bit-identical.
+    The per-replicate substream discipline (clock / workload / algorithm
+    seed children) and the scalar event loop both live behind
+    :class:`~repro.engine.kernels.scalar.ScalarKernel` now; this
+    function remains the stable single-replicate entry point and adds
+    the shared-state guard.  Kernel-aware batch execution goes through
+    :func:`repro.engine.kernels.execute_specs` instead (the backends
+    below do) — this path deliberately ignores ``spec.kernel`` so it
+    stays a pure scalar oracle.
     """
     if spec_has_refs(spec):
         raise SimulationError(
@@ -203,27 +214,18 @@ def execute_replicate(spec: ReplicateSpec) -> RunResult:
             "run it through ExecutionBackend.execute_shared (or resolve "
             "it with resolve_replicate_spec) instead of execute()"
         )
-    clock_seq, workload_seq, algorithm_seq = (
-        derive_child(spec.seed_sequence, child) for child in range(3)
-    )
-    clock_rng = np.random.default_rng(clock_seq)
-    if callable(spec.initial_values):
-        workload_rng = np.random.default_rng(workload_seq)
-        values = spec.initial_values(workload_rng)
-    else:
-        values = spec.initial_values
-    if spec.clock_factory is not None:
-        clock = spec.clock_factory(clock_rng)
-    else:
-        clock = PoissonEdgeClocks(spec.graph.n_edges, seed=clock_rng)
-    simulator = Simulator(
-        spec.graph,
-        spec.algorithm_factory(),
-        values,
-        clock=clock,
-        seed=np.random.default_rng(algorithm_seq),
-    )
-    return simulator.run(**dict(spec.run_kwargs))  # type: ignore[arg-type]
+    return _SCALAR_KERNEL.execute_one(spec)
+
+
+def _check_no_refs(specs: "Sequence[ReplicateSpec]") -> None:
+    """Shared-state guard for whole batches (same message as above)."""
+    for spec in specs:
+        if spec_has_refs(spec):
+            raise SimulationError(
+                "replicate spec still carries SharedStateRef placeholders; "
+                "run it through ExecutionBackend.execute_shared (or resolve "
+                "it with resolve_replicate_spec) instead of execute()"
+            )
 
 
 def check_no_recorder(
@@ -389,12 +391,25 @@ def execute_with_retry(
 
 
 class SerialBackend(ExecutionBackend):
-    """Execute replicates one after another in the current process."""
+    """Execute replicates in the current process (kernel-dispatched).
+
+    Batches route through :func:`repro.engine.kernels.execute_specs`, so
+    eligible same-configuration replicate blocks advance in numpy
+    lockstep while everything else takes the scalar loop — with
+    bit-identical results either way.  :attr:`kernel_stats` accumulates
+    which path engaged.
+    """
 
     name = "serial"
 
+    def __init__(self) -> None:
+        #: Cumulative kernel-engagement counters (see
+        #: :func:`repro.engine.kernels.new_kernel_stats`).
+        self.kernel_stats = new_kernel_stats()
+
     def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
-        return [execute_replicate(spec) for spec in specs]
+        _check_no_refs(specs)
+        return _kernel_execute_specs(specs, stats=self.kernel_stats)
 
 
 #: Worker-process registry for shared state installed by the executor
@@ -417,6 +432,80 @@ def _install_worker_shared_state(blob: bytes) -> None:
 def _execute_shared_replicate(spec: ReplicateSpec) -> RunResult:
     """Worker task for slim specs: resolve refs, then run as usual."""
     return execute_replicate(resolve_replicate_spec(spec, _WORKER_SHARED_STATE))
+
+
+def _execute_spec_chunk(
+    specs: "list[ReplicateSpec]",
+) -> "tuple[list[RunResult], dict[str, int]]":
+    """Worker task: kernel-dispatch a same-configuration spec chunk.
+
+    Returns the chunk's results plus its kernel-engagement counters so
+    the parent can aggregate telemetry across workers.
+    """
+    stats = new_kernel_stats()
+    return _kernel_execute_specs(specs, stats=stats), stats
+
+
+def _execute_shared_spec_chunk(
+    specs: "list[ReplicateSpec]",
+) -> "tuple[list[RunResult], dict[str, int]]":
+    """Worker task: resolve a slim chunk against installed state, then run."""
+    resolved = [
+        resolve_replicate_spec(spec, _WORKER_SHARED_STATE) for spec in specs
+    ]
+    stats = new_kernel_stats()
+    return _kernel_execute_specs(resolved, stats=stats), stats
+
+
+def _spec_affinity_key(spec: ReplicateSpec) -> tuple:
+    """Configuration identity usable on slim *or* resolved specs.
+
+    Shared-state refs are compared by content (every slim spec carries
+    its own equal ``SharedStateRef``), heavy inline objects by identity
+    (replicates of one configuration share them), run kwargs by content.
+    Used only to align dispatch chunks with configuration boundaries —
+    chunking can never change a result, only how well batches vectorize.
+    """
+    parts: "list[object]" = [getattr(spec, "kernel", "auto")]
+    for name in _SHARED_FIELDS:
+        value = getattr(spec, name)
+        if isinstance(value, SharedStateRef):
+            parts.append(("ref", value.key, value.item))
+        else:
+            parts.append(("id", id(value)))
+    parts.append(
+        tuple(sorted((key, repr(value)) for key, value in spec.run_kwargs.items()))
+    )
+    return tuple(parts)
+
+
+def _dispatch_chunks(
+    specs: "Sequence[ReplicateSpec]", n_workers: int
+) -> "list[list[ReplicateSpec]]":
+    """Split a batch into contiguous same-configuration dispatch chunks.
+
+    Chunks are the process pool's task unit *and* the vectorized
+    kernel's lockstep group, so the size cap balances two pressures:
+    wide enough to vectorize (never below
+    :data:`~repro.engine.kernels.AUTO_MIN_BATCH`), small enough that a
+    single-configuration batch still spreads over the pool.  Sweep
+    batches (many configurations x one replicate window) split on the
+    configuration boundaries and keep window-level granularity.
+    """
+    cap = max(AUTO_MIN_BATCH, -(-len(specs) // (4 * n_workers)))
+    chunks: "list[list[ReplicateSpec]]" = []
+    current: "list[ReplicateSpec]" = []
+    current_key: "tuple | None" = None
+    for spec in specs:
+        key = _spec_affinity_key(spec)
+        if current and (key != current_key or len(current) >= cap):
+            chunks.append(current)
+            current = []
+        current.append(spec)
+        current_key = key
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -470,14 +559,49 @@ class ProcessPoolBackend(ExecutionBackend):
         #: How many times a pool was (re)created with shared state — the
         #: regression suite asserts a whole sweep costs exactly one.
         self.shared_installs = 0
+        #: Cumulative kernel-engagement counters aggregated from worker
+        #: chunk returns (see :func:`repro.engine.kernels.new_kernel_stats`).
+        self.kernel_stats = new_kernel_stats()
+
+    def _merge_kernel_stats(self, stats: "Mapping[str, int]") -> None:
+        for key, value in stats.items():
+            self.kernel_stats[key] = self.kernel_stats.get(key, 0) + value
+
+    def _map_chunks(
+        self, worker: "Callable[[list[ReplicateSpec]], Any]",
+        specs: "Sequence[ReplicateSpec]",
+    ) -> "list[RunResult]":
+        """Fan dispatch chunks over the pool, reassembling in order.
+
+        Chunks align with configuration boundaries
+        (:func:`_dispatch_chunks`), so each worker-side kernel dispatch
+        sees a same-configuration block it can vectorize; per-chunk
+        kernel counters are folded into :attr:`kernel_stats`.
+        """
+        assert self._pool is not None
+        chunks = _dispatch_chunks(specs, self.n_workers)
+        try:
+            outcomes = list(self._pool.map(worker, chunks))
+        except BrokenProcessPool as exc:
+            self.shutdown()
+            raise SimulationError(
+                f"process pool died executing replicates ({exc}); a worker "
+                "was killed (OOM?) or crashed during unpickling"
+            ) from exc
+        results: "list[RunResult]" = []
+        for chunk_results, chunk_stats in outcomes:
+            results.extend(chunk_results)
+            self._merge_kernel_stats(chunk_stats)
+        return results
 
     def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
         if not specs:
             return []
         if self.n_workers == 1 or len(specs) == 1:
-            # A pool of one buys nothing; the serial path is identical
-            # by construction (same execute_replicate, same seeds).
-            return [execute_replicate(spec) for spec in specs]
+            # A pool of one buys nothing; the in-process path is
+            # identical by construction (same kernels, same seeds).
+            _check_no_refs(specs)
+            return _kernel_execute_specs(specs, stats=self.kernel_stats)
         check_no_recorder(specs, backend_hint="process execution")
         check_batch_picklable(specs)
         if self._pool is None:
@@ -489,14 +613,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 max_workers=self.n_workers,
                 mp_context=self._mp_context,  # type: ignore[arg-type]
             )
-        try:
-            return list(self._pool.map(execute_replicate, specs))
-        except BrokenProcessPool as exc:
-            self.shutdown()
-            raise SimulationError(
-                f"process pool died executing replicates ({exc}); a worker "
-                "was killed (OOM?) or crashed during unpickling"
-            ) from exc
+        return self._map_chunks(_execute_spec_chunk, specs)
 
     def execute_shared(
         self,
@@ -508,22 +625,14 @@ class ProcessPoolBackend(ExecutionBackend):
         if self.n_workers == 1 or len(specs) == 1:
             # Same serial short-circuit as execute(): resolution against
             # the caller's mapping yields the caller's own objects.
-            return [
-                execute_replicate(resolve_replicate_spec(spec, shared_state))
-                for spec in specs
+            resolved = [
+                resolve_replicate_spec(spec, shared_state) for spec in specs
             ]
+            return _kernel_execute_specs(resolved, stats=self.kernel_stats)
         check_no_recorder(specs, backend_hint="process execution")
         check_batch_picklable(specs)
         self._ensure_shared_pool(shared_state)
-        assert self._pool is not None
-        try:
-            return list(self._pool.map(_execute_shared_replicate, specs))
-        except BrokenProcessPool as exc:
-            self.shutdown()
-            raise SimulationError(
-                f"process pool died executing replicates ({exc}); a worker "
-                "was killed (OOM?) or crashed during unpickling"
-            ) from exc
+        return self._map_chunks(_execute_shared_spec_chunk, specs)
 
     def _ensure_shared_pool(self, shared_state: "Mapping[str, Any]") -> None:
         """Make the worker pool carry exactly ``shared_state``.

@@ -74,11 +74,11 @@ from repro.engine.backends import (
     ReplicateSpec,
     check_batch_picklable,
     check_no_recorder,
-    execute_replicate,
     pickle_shared_state,
     resolve_replicate_spec,
     spec_has_refs,
 )
+from repro.engine.kernels import execute_specs, new_kernel_stats
 from repro.engine.results import RunResult
 from repro.errors import ClusterError
 
@@ -240,16 +240,32 @@ def run_worker(
             try:
                 if spec_has_refs(spec):
                     spec = resolve_replicate_spec(spec, installed)
-                result = execute_replicate(spec)
+                # Kernel dispatch at batch size 1: spec.kernel rides the
+                # wire inside the spec, so kernel="vectorized" engages
+                # the lockstep path here too (auto stays scalar below
+                # the batch-width floor); the kernel used is reported
+                # back for the coordinator's engagement counters.
+                kernel_stats = new_kernel_stats()
+                result = execute_specs([spec], stats=kernel_stats)[0]
             except Exception as exc:  # deterministic: report, don't die
                 conn.send(wire.MSG_ERROR, {
                     "task_id": task_id,
                     "message": f"{type(exc).__name__}: {exc}",
                 })
                 continue
-            conn.send(wire.MSG_RESULT, {"task_id": task_id, "result": result})
+            kernel_used = (
+                "vectorized"
+                if kernel_stats["vectorized_replicates"]
+                else "scalar"
+            )
+            reply = {
+                "task_id": task_id,
+                "result": result,
+                "kernel": kernel_used,
+            }
+            conn.send(wire.MSG_RESULT, reply)
             if plan.duplicate_results:
-                conn.send(wire.MSG_RESULT, {"task_id": task_id, "result": result})
+                conn.send(wire.MSG_RESULT, reply)
             completed += 1
             if plan.die_after is not None and completed >= plan.die_after:
                 os._exit(17)  # simulated crash: no cleanup, no goodbye
@@ -394,6 +410,11 @@ class ClusterBackend(ExecutionBackend):
         #: fault-injection suite asserts on these.
         self.stats: "dict[str, int]" = {}
         self.reset_stats()
+        #: Kernel-engagement counters aggregated from worker result
+        #: frames (see :func:`repro.engine.kernels.new_kernel_stats`).
+        #: Each cluster task is a one-spec kernel dispatch, so a
+        #: vectorized replicate counts as its own install.
+        self.kernel_stats = new_kernel_stats()
 
     def reset_stats(self) -> None:
         """Zero the failure/recovery counters."""
@@ -770,6 +791,12 @@ class ClusterBackend(ExecutionBackend):
                     self.stats["duplicates_dropped"] += 1
                 else:
                     results[index] = payload["result"]
+                    kernel_used = payload.get("kernel")
+                    if kernel_used == "vectorized":
+                        self.kernel_stats["vectorized_replicates"] += 1
+                        self.kernel_stats["kernel_installs"] += 1
+                    else:
+                        self.kernel_stats["scalar_replicates"] += 1
             elif kind == wire.MSG_ERROR:
                 task_id = payload["task_id"]
                 handle.inflight.pop(task_id, None)

@@ -1,0 +1,63 @@
+"""The scalar kernel: one replicate at a time through :class:`Simulator`.
+
+This is the original execution path of
+:func:`repro.engine.backends.execute_replicate`, moved behind the
+:class:`~repro.engine.kernels.base.SimulationKernel` protocol without any
+behavior change.  It supports every spec and is the bit-exact oracle the
+vectorized kernel's equivalence suite compares against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.clocks.poisson import PoissonEdgeClocks
+from repro.engine.kernels.base import SimulationKernel, replicate_substreams
+from repro.engine.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.engine.backends import ReplicateSpec
+    from repro.engine.results import RunResult
+
+
+class ScalarKernel(SimulationKernel):
+    """Execute replicates one after another through the scalar event loop."""
+
+    name = "scalar"
+
+    def supports(self, spec: "ReplicateSpec") -> bool:
+        return True
+
+    def execute_one(self, spec: "ReplicateSpec") -> "RunResult":
+        """Run one resolved spec (the shared single-replicate work path).
+
+        Derives three independent substreams from the spec's seed
+        sequence — clock, workload, algorithm — so the clock process,
+        the workload sampler and the algorithm's own randomness never
+        share a generator (see :func:`~repro.engine.kernels.base
+        .replicate_substreams` for why they are derived, not spawned).
+        """
+        clock_seq, workload_seq, algorithm_seq = replicate_substreams(spec)
+        clock_rng = np.random.default_rng(clock_seq)
+        if callable(spec.initial_values):
+            workload_rng = np.random.default_rng(workload_seq)
+            values = spec.initial_values(workload_rng)
+        else:
+            values = spec.initial_values
+        if spec.clock_factory is not None:
+            clock = spec.clock_factory(clock_rng)
+        else:
+            clock = PoissonEdgeClocks(spec.graph.n_edges, seed=clock_rng)
+        simulator = Simulator(
+            spec.graph,
+            spec.algorithm_factory(),
+            values,
+            clock=clock,
+            seed=np.random.default_rng(algorithm_seq),
+        )
+        return simulator.run(**dict(spec.run_kwargs))  # type: ignore[arg-type]
+
+    def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
+        return [self.execute_one(spec) for spec in specs]

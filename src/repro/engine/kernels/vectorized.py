@@ -1,0 +1,698 @@
+"""The vectorized replicate-batch kernel.
+
+Advances many replicates of **one configuration** in lockstep: the value
+vectors live in a ``(n_replicates, n_nodes)`` float64 matrix and every
+clock tick updates one ``(replicate, vertex)`` pair per row with a
+handful of numpy gather/scatter operations, amortizing interpreter
+overhead over the whole batch.  On eligible configurations this is what
+turns the ~1 us/event pure-Python loop into tens of nanoseconds per
+replicate-event at realistic batch widths (see
+``benchmarks/results/BENCH_kernel_scaling.json``).
+
+**Bit-identity.**  The kernel reproduces the scalar event loop's results
+to the byte, not approximately.  The load-bearing facts:
+
+* Each replicate gets its *own* clock object, built exactly as the
+  scalar path builds it (same factory, same derived clock substream), and
+  ``next_batch`` is called with the same batch-size sequence the scalar
+  loop uses — so every replicate sees the identical event stream.  A
+  replicate that stops mid-batch simply discards the surplus draws, just
+  like the scalar loop does.
+* The incremental ``T``/``S`` statistics are updated with the exact
+  floating-point expression (and association order) of the scalar loop,
+  refreshed from scratch on the same global update boundaries with the
+  same per-row ``row.sum()`` / ``row @ row`` reductions.
+* Per-tick algorithm randomness (``RandomConvexGossip``'s mixing weight)
+  is pre-drawn per batch from each replicate's algorithm generator;
+  numpy's ``Generator.uniform(size=k)`` consumes the bit stream exactly
+  as ``k`` sequential scalar draws do.
+* Eligible algorithms update on **every** tick, so all running
+  replicates share one global event counter — what makes lockstep (and
+  the shared recompute boundary) valid in the first place.
+
+**Memory discipline.**  The hot loop never allocates: per-step
+arithmetic lands in a reusable scratch arena (``out=`` everywhere), and
+the big per-batch clock buffers are kept warm across batches and groups
+— a fresh 64MB allocation costs more in page faults than the compute it
+serves.  Batch draws are staged row-per-replicate and then transposed
+with a cache-blocked kernel so that every step reads contiguous slices.
+
+**Eligibility.**  A spec vectorizes when its algorithm is exactly one of
+the convex-class implementations registered in ``_UPDATE_BUILDERS``
+(exact type match — a subclass overriding ``on_tick`` must not silently
+take the fast path), its clock is the standard Poisson model (default or
+:class:`~repro.clocks.poisson.PoissonClockFactory`), and its run kwargs
+carry no recorder and no unknown keys.  Everything else falls back to
+the scalar kernel.  ``docs/kernels.md`` walks through the rules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+from repro.algorithms.convex import ConvexGossip, RandomConvexGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.clocks.poisson import PoissonClockFactory, PoissonEdgeClocks
+from repro.engine.kernels.base import SimulationKernel, replicate_substreams
+from repro.engine.results import Crossing, RunResult
+from repro.engine.simulator import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_RECOMPUTE_EVERY,
+)
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.engine.backends import ReplicateSpec
+
+#: Largest replicate batch advanced as one lockstep group; bigger groups
+#: are split (grouping never affects results, only memory: the per-batch
+#: clock buffers are ``group x DEFAULT_BATCH_SIZE`` float64).
+MAX_GROUP_SIZE = 2048
+
+#: run() kwargs the lockstep loop implements; anything else disqualifies
+#: the spec (the scalar kernel is the one that knows how to reject it).
+_SUPPORTED_RUN_KWARGS = frozenset(
+    {
+        "max_time",
+        "max_events",
+        "target_ratio",
+        "thresholds",
+        "recorder",
+        "divergence_ratio",
+    }
+)
+
+_TILE_ROWS = 64
+_TILE_COLS = 2048
+
+
+def _transpose_into(dst: np.ndarray, src: np.ndarray) -> None:
+    """Cache-blocked ``dst[:] = src.T``.
+
+    A naive strided transpose walks one page per element and thrashes
+    the TLB (~6x slower at 1024x8192 measured); small tiles keep both
+    sides' working sets cache-resident.
+    """
+    n_rows, n_cols = src.shape
+    for i0 in range(0, n_rows, _TILE_ROWS):
+        s = src[i0 : i0 + _TILE_ROWS]
+        d = dst[:, i0 : i0 + _TILE_ROWS]
+        for j0 in range(0, n_cols, _TILE_COLS):
+            d[j0 : j0 + _TILE_COLS] = s[:, j0 : j0 + _TILE_COLS].T
+
+
+class _VanillaUpdate:
+    """``x_u, x_v <- (x_u + x_v) / 2``, vectorized across replicates.
+
+    Returns the *same* buffer twice; the caller exploits the identity to
+    skip one multiply in the square-sum delta.
+    """
+
+    needs_rng = False
+
+    def apply(
+        self,
+        x_u: np.ndarray,
+        x_v: np.ndarray,
+        aux: "np.ndarray | None",
+        out_u: np.ndarray,
+        out_v: np.ndarray,
+        tmp: np.ndarray,
+        tmp2: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        np.add(x_u, x_v, out=out_u)
+        np.multiply(out_u, 0.5, out=out_u)
+        return out_u, out_u
+
+
+class _ConvexUpdate:
+    """Fixed-``alpha`` symmetric convex update, vectorized."""
+
+    needs_rng = False
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = alpha
+
+    def apply(
+        self,
+        x_u: np.ndarray,
+        x_v: np.ndarray,
+        aux: "np.ndarray | None",
+        out_u: np.ndarray,
+        out_v: np.ndarray,
+        tmp: np.ndarray,
+        tmp2: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        a = self.alpha
+        b = 1.0 - a
+        np.multiply(x_u, a, out=out_u)
+        np.multiply(x_v, b, out=tmp)
+        np.add(out_u, tmp, out=out_u)  # a*x_u + b*x_v
+        np.multiply(x_v, a, out=out_v)
+        np.multiply(x_u, b, out=tmp)
+        np.add(out_v, tmp, out=out_v)  # a*x_v + b*x_u
+        return out_u, out_v
+
+
+class _RandomConvexUpdate:
+    """Per-tick ``alpha ~ U[low, high]`` convex update, vectorized.
+
+    ``aux`` carries each replicate's pre-drawn mixing weight for the
+    current tick; the batched draw consumes each algorithm generator's
+    bit stream exactly as the scalar loop's per-tick scalar draws do.
+    """
+
+    needs_rng = True
+
+    def __init__(self, low: float, high: float) -> None:
+        self.low = low
+        self.high = high
+
+    def fill(
+        self, rngs: "Sequence[np.random.Generator]", k: int, out: np.ndarray
+    ) -> None:
+        low = self.low
+        high = self.high
+        for i, rng in enumerate(rngs):
+            out[i, :k] = rng.uniform(low, high, size=k)
+
+    def apply(
+        self,
+        x_u: np.ndarray,
+        x_v: np.ndarray,
+        aux: np.ndarray,
+        out_u: np.ndarray,
+        out_v: np.ndarray,
+        tmp: np.ndarray,
+        tmp2: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        np.subtract(1.0, aux, out=tmp2)  # b = 1 - a
+        np.multiply(x_u, aux, out=out_u)
+        np.multiply(x_v, tmp2, out=tmp)
+        np.add(out_u, tmp, out=out_u)  # a*x_u + b*x_v
+        np.multiply(x_v, aux, out=out_v)
+        np.multiply(x_u, tmp2, out=tmp)
+        np.add(out_v, tmp, out=out_v)  # a*x_v + b*x_u
+        return out_u, out_v
+
+
+#: Exact algorithm type -> vectorized-update builder.  Keyed by type (not
+#: isinstance) on purpose: a subclass overriding ``on_tick`` must never
+#: silently take the fast path with the parent's update rule.
+_UPDATE_BUILDERS: "dict[type, Callable[[Any], Any]]" = {
+    VanillaGossip: lambda algorithm: _VanillaUpdate(),
+    ConvexGossip: lambda algorithm: _ConvexUpdate(algorithm.alpha),
+    RandomConvexGossip: lambda algorithm: _RandomConvexUpdate(
+        algorithm.low, algorithm.high
+    ),
+}
+
+
+def resolve_update(algorithm: object) -> "object | None":
+    """The vectorized update rule for ``algorithm`` (None = not eligible)."""
+    builder = _UPDATE_BUILDERS.get(type(algorithm))
+    return None if builder is None else builder(algorithm)
+
+
+def eligible_run_kwargs(run_kwargs: "dict | Any") -> bool:
+    """True when the run kwargs are within the lockstep loop's support."""
+    if any(key not in _SUPPORTED_RUN_KWARGS for key in run_kwargs):
+        return False
+    return run_kwargs.get("recorder") is None
+
+
+def eligible_clock_factory(clock_factory: "object | None") -> bool:
+    """True for the standard Poisson clock model (default or factory)."""
+    return clock_factory is None or isinstance(clock_factory, PoissonClockFactory)
+
+
+class _Member:
+    """One replicate's pre-lockstep state (setup mirrors the scalar path)."""
+
+    __slots__ = (
+        "position",
+        "values",
+        "variance_0",
+        "sum_0",
+        "square_sum_0",
+        "crossings",
+        "clock",
+        "rng",
+    )
+
+    def __init__(self, position: int) -> None:
+        self.position = position
+
+
+class _Scratch:
+    """Reusable lockstep buffers, kept warm across batches and groups.
+
+    The big per-batch clock buffers are ~64MB at full width; allocating
+    them fresh costs more in page faults than the arithmetic they feed.
+    One growing arena per kernel instance amortizes that to zero after
+    the first batch.  Callers slice leading views (``[:k, :A]``) so a
+    shrunken group keeps using the same warm pages.
+    """
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.cols = 0
+        self.has_aux = False
+
+    def ensure(self, rows: int, cols: int, needs_aux: bool) -> None:
+        if rows > self.rows or cols > self.cols:
+            rows = max(rows, self.rows)
+            cols = max(cols, self.cols)
+            self.rows = rows
+            self.cols = cols
+            self.draw_t = np.empty((rows, cols))
+            self.draw_fu = np.empty((rows, cols), dtype=np.int64)
+            self.draw_fv = np.empty((rows, cols), dtype=np.int64)
+            self.times_b = np.empty((cols, rows))
+            self.fu_b = np.empty((cols, rows), dtype=np.int64)
+            self.fv_b = np.empty((cols, rows), dtype=np.int64)
+            self.f64_bufs = [np.empty(rows) for _ in range(10)]
+            self.bool_bufs = [np.empty(rows, dtype=bool) for _ in range(4)]
+            self.has_aux = False
+        if needs_aux and not self.has_aux:
+            self.draw_aux = np.empty((self.rows, self.cols))
+            self.aux_b = np.empty((self.cols, self.rows))
+            self.has_aux = True
+
+
+class VectorizedBatchKernel(SimulationKernel):
+    """Advance same-configuration replicates in numpy lockstep."""
+
+    name = "vectorized"
+
+    def __init__(self) -> None:
+        self._scratch = _Scratch()
+
+    def supports(self, spec: "ReplicateSpec") -> bool:
+        if not eligible_run_kwargs(spec.run_kwargs):
+            return False
+        if not eligible_clock_factory(spec.clock_factory):
+            return False
+        return resolve_update(spec.algorithm_factory()) is not None
+
+    def execute(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
+        """Run a batch of same-configuration specs in lockstep.
+
+        Callers (the dispatcher) group specs by configuration; this
+        method only splits oversized groups, which cannot affect results
+        because every replicate's streams and arithmetic are independent
+        of group composition.
+        """
+        results: "list[RunResult]" = []
+        for start in range(0, len(specs), MAX_GROUP_SIZE):
+            results.extend(self._run_group(specs[start : start + MAX_GROUP_SIZE]))
+        return results
+
+    # -- group execution -------------------------------------------------
+
+    def _run_group(self, specs: "Sequence[ReplicateSpec]") -> "list[RunResult]":
+        graph = specs[0].graph
+        update = resolve_update(specs[0].algorithm_factory())
+        if update is None:
+            raise SimulationError(
+                "VectorizedBatchKernel received an ineligible spec; "
+                "dispatch through repro.engine.kernels.execute_specs"
+            )
+        run_kwargs = dict(specs[0].run_kwargs)
+        (max_time, max_events, target_ratio, thresholds, divergence_ratio) = (
+            _parse_run_kwargs(run_kwargs)
+        )
+        if graph.n_edges == 0:
+            raise SimulationError("cannot simulate on a graph with no edges")
+        event_cap = max_events if max_events is not None else DEFAULT_MAX_EVENTS
+        n = graph.n_vertices
+        inv_n = 1.0 / n
+
+        results: "list[RunResult | None]" = [None] * len(specs)
+        members = self._setup_members(specs, graph, thresholds, results)
+        if not members:
+            return results  # type: ignore[return-value]
+
+        # --- dense lockstep state ---
+        # Row i always belongs to ``live[i]``; a replicate that stops is
+        # finalized on the spot and *compacted out* of every array, so
+        # the hot loop only ever touches contiguous full-width vectors
+        # (no ``[rows]`` gather/scatter indirection on any step).
+        live = list(members)
+        n_live = len(live)
+        X = np.stack([member.values for member in live])  # (A, n) C-order
+        flat = X.reshape(-1)  # shared view; rebuilt after compaction
+        total = np.array([member.sum_0 for member in live])
+        square_sum = np.array([member.square_sum_0 for member in live])
+        variance_0 = np.array([member.variance_0 for member in live])
+        # Deduped thresholds in the scalar loop's tracking order
+        # (descending), as absolute variances per replicate.  Stored
+        # (threshold, replicate) so each threshold's slice is contiguous.
+        tracked_thresholds = sorted(live[0].crossings, reverse=True)
+        n_thresholds = len(tracked_thresholds)
+        thr_abs = np.outer(np.asarray(tracked_thresholds), variance_0)
+        first_below = np.full((n_thresholds, n_live), np.nan)
+        below_unset = np.ones((n_thresholds, n_live), dtype=bool)
+        below_active = [True] * n_thresholds
+        last_above = np.zeros((n_thresholds, n_live))
+        target_abs = None if target_ratio is None else target_ratio * variance_0
+        divergence_abs = (
+            None if divergence_ratio is None else divergence_ratio * variance_0
+        )
+        check_stop = (
+            target_abs is not None
+            or divergence_abs is not None
+            or max_time is not None
+        )
+        clocks = [member.clock for member in live]
+        rngs = [member.rng for member in live]
+
+        end_u = np.ascontiguousarray(graph.edges[:, 0]).astype(np.int64)
+        end_v = np.ascontiguousarray(graph.edges[:, 1]).astype(np.int64)
+
+        def finalize(i: int, duration: float, n_events: int, label: str) -> None:
+            """Emit row ``i``'s RunResult (reads the *current* arrays)."""
+            member = live[i]
+            final = X[i].copy()
+            tracked = sorted(member.crossings.values(), key=lambda c: -c.threshold)
+            for ki, record in enumerate(tracked):
+                below_at = first_below[ki, i]
+                record.first_below = (None if np.isnan(below_at) else float(below_at))
+                record.last_above = float(last_above[ki, i])
+            results[member.position] = RunResult(
+                values=final,
+                duration=float(duration),
+                n_events=int(n_events),
+                n_updates=int(n_events),
+                variance_initial=member.variance_0,
+                variance_final=float(np.var(final)),
+                sum_initial=member.sum_0,
+                sum_final=float(final.sum()),
+                crossings=member.crossings,
+                stopped_by=label,
+            )
+
+        scr = self._scratch
+        scr.ensure(n_live, min(DEFAULT_BATCH_SIZE, event_cap), update.needs_rng)
+
+        # All running replicates share one global event counter (eligible
+        # algorithms update on every tick), so the periodic exact
+        # recompute hits the same per-replicate update counts the scalar
+        # loop would.
+        events_done = 0
+        next_recompute = DEFAULT_RECOMPUTE_EVERY
+        last_t = np.zeros(n_live)
+        while live and events_done < event_cap:
+            A = len(live)
+            k = min(DEFAULT_BATCH_SIZE, event_cap - events_done)
+            draw_t = scr.draw_t
+            draw_fu = scr.draw_fu
+            draw_fv = scr.draw_fv
+            for i, clock in enumerate(clocks):
+                times, edge_ids = clock.next_batch(k)
+                draw_t[i, :k] = times
+                # Resolve every tick's endpoints into flat positions in
+                # ``X.reshape(-1)`` up front (row offset baked in), so
+                # the hot loop does no endpoint lookups at all.
+                off = i * n
+                np.add(end_u.take(edge_ids), off, out=draw_fu[i, :k])
+                np.add(end_v.take(edge_ids), off, out=draw_fv[i, :k])
+            times_v = scr.times_b[:k, :A]
+            fu_v = scr.fu_b[:k, :A]
+            fv_v = scr.fv_b[:k, :A]
+            _transpose_into(times_v, draw_t[:A, :k])
+            _transpose_into(fu_v, draw_fu[:A, :k])
+            _transpose_into(fv_v, draw_fv[:A, :k])
+            if update.needs_rng:
+                update.fill(rngs, k, scr.draw_aux)
+                aux_v = scr.aux_b[:k, :A]
+                _transpose_into(aux_v, scr.draw_aux[:A, :k])
+            else:
+                aux_v = None
+            xu, xv, nu, nv, tmp, tmp2, s1, s2, mean, var = (b[:A] for b in scr.f64_bufs)
+            b1, b2, b3, b4 = (b[:A] for b in scr.bool_bufs)
+            j = 0
+            while j < k:
+                t = times_v[j]
+                fu = fu_v[j]
+                fv = fv_v[j]
+                flat.take(fu, out=xu)
+                flat.take(fv, out=xv)
+                new_u, new_v = update.apply(
+                    xu,
+                    xv,
+                    None if aux_v is None else aux_v[j],
+                    nu,
+                    nv,
+                    tmp,
+                    tmp2,
+                )
+                # Exact association order of the scalar loop's deltas:
+                # ((nu^2 + nv^2) - xu^2) - xv^2 and ((nu+nv) - xu) - xv.
+                if new_u is new_v:
+                    np.multiply(new_u, new_u, out=s1)
+                    np.add(s1, s1, out=s1)
+                else:
+                    np.multiply(new_u, new_u, out=s1)
+                    np.multiply(new_v, new_v, out=s2)
+                    np.add(s1, s2, out=s1)
+                np.multiply(xu, xu, out=s2)
+                np.subtract(s1, s2, out=s1)
+                np.multiply(xv, xv, out=s2)
+                np.subtract(s1, s2, out=s1)
+                square_sum += s1
+                np.add(new_u, new_v, out=s2)
+                np.subtract(s2, xu, out=s2)
+                np.subtract(s2, xv, out=s2)
+                total += s2
+                flat[fu] = new_u
+                flat[fv] = new_v
+                n_updates = events_done + j + 1
+                if n_updates >= next_recompute:
+                    # Same per-row reductions the scalar refresh uses
+                    # (row.sum() / row @ row on a contiguous vector), on
+                    # the same global update boundary.
+                    for i in range(A):
+                        row = X[i]
+                        total[i] = row.sum()
+                        square_sum[i] = row @ row
+                    next_recompute = n_updates + DEFAULT_RECOMPUTE_EVERY
+                np.multiply(total, inv_n, out=mean)
+                np.multiply(square_sum, inv_n, out=var)
+                np.multiply(mean, mean, out=mean)
+                np.subtract(var, mean, out=var)
+                np.maximum(var, 0.0, out=var)  # undershoot clamp (NaN passes)
+                for ki in range(n_thresholds):
+                    np.greater(var, thr_abs[ki], out=b1)
+                    np.copyto(last_above[ki], t, where=b1)
+                    if below_active[ki]:
+                        # The scalar loop's elif: record the first
+                        # below-tick only while unset (NaN variance
+                        # counts as below); once every row has crossed,
+                        # this branch retires for the threshold.
+                        unset = below_unset[ki]
+                        np.logical_not(b1, out=b2)
+                        np.logical_and(b2, unset, out=b2)
+                        np.copyto(first_below[ki], t, where=b2)
+                        np.logical_and(unset, b1, out=unset)
+                        # Retirement is an optimization, not semantics:
+                        # polling every 256 updates just delays dropping
+                        # to the cheap above-only path.
+                        if not (n_updates & 255):
+                            below_active[ki] = bool(unset.any())
+                if check_stop:
+                    # Fused pre-check: one union mask, one .any() per
+                    # step.  ``~(v <= d)`` is the scalar divergence test
+                    # ``v > d or v != v`` in a single comparison (NaN
+                    # fails ``<=``).  Priority labels are resolved in
+                    # the rare branch, in the scalar order: target
+                    # first, then divergence, then the time budget.
+                    stop = None
+                    if target_abs is not None:
+                        np.less_equal(var, target_abs, out=b3)
+                        stop = b3
+                    if divergence_abs is not None:
+                        buf = b3 if stop is None else b4
+                        np.less_equal(var, divergence_abs, out=buf)
+                        np.logical_not(buf, out=buf)
+                        stop = (
+                            buf
+                            if stop is None
+                            else np.logical_or(stop, buf, out=stop)
+                        )
+                    if max_time is not None:
+                        buf = b3 if stop is None else b4
+                        np.greater_equal(t, max_time, out=buf)
+                        stop = (
+                            buf
+                            if stop is None
+                            else np.logical_or(stop, buf, out=stop)
+                        )
+                    if stop.any():
+                        hit = (var <= target_abs if target_abs is not None else None)
+                        diverged = (
+                            ~(var <= divergence_abs)
+                            if divergence_abs is not None
+                            else None
+                        )
+                        for i in np.flatnonzero(stop):
+                            if hit is not None and hit[i]:
+                                label = "target_ratio"
+                            elif diverged is not None and diverged[i]:
+                                label = "diverged"
+                            else:
+                                label = "max_time"
+                            finalize(i, t[i], n_updates, label)
+                        keep = ~stop
+                        kept = np.flatnonzero(keep)
+                        live = [live[i] for i in kept]
+                        if not live:
+                            break
+                        clocks = [clocks[i] for i in kept]
+                        rngs = [rngs[i] for i in kept]
+                        A = kept.size
+                        X = X[keep]
+                        flat = X.reshape(-1)
+                        total = total[keep]
+                        square_sum = square_sum[keep]
+                        thr_abs = np.ascontiguousarray(thr_abs[:, keep])
+                        first_below = np.ascontiguousarray(first_below[:, keep])
+                        below_unset = np.ascontiguousarray(below_unset[:, keep])
+                        last_above = np.ascontiguousarray(last_above[:, keep])
+                        below_active = [
+                            bool(below_unset[ki].any())
+                            for ki in range(n_thresholds)
+                        ]
+                        if target_abs is not None:
+                            target_abs = target_abs[keep]
+                        if divergence_abs is not None:
+                            divergence_abs = divergence_abs[keep]
+                        # Repack the rest of the batch into the leading
+                        # columns (the fancy-indexed copies materialize
+                        # before landing back in the shared buffers) and
+                        # re-bake the flat indices' row offsets for the
+                        # new, denser row numbering.
+                        shift = (np.arange(A, dtype=np.int64) - kept) * n
+                        packed_t = times_v[:, kept]
+                        packed_fu = fu_v[:, kept] + shift
+                        packed_fv = fv_v[:, kept] + shift
+                        times_v = scr.times_b[:k, :A]
+                        fu_v = scr.fu_b[:k, :A]
+                        fv_v = scr.fv_b[:k, :A]
+                        times_v[:] = packed_t
+                        fu_v[:] = packed_fu
+                        fv_v[:] = packed_fv
+                        if aux_v is not None:
+                            packed_a = aux_v[:, kept]
+                            aux_v = scr.aux_b[:k, :A]
+                            aux_v[:] = packed_a
+                        (xu, xv, nu, nv, tmp, tmp2, s1, s2, mean, var) = (
+                            b[:A] for b in scr.f64_bufs
+                        )
+                        b1, b2, b3, b4 = (b[:A] for b in scr.bool_bufs)
+                j += 1
+            events_done += k
+            if live:
+                # Copy, not view: the shared batch buffer is overwritten
+                # by the next batch, and survivors report this time.
+                last_t = times_v[k - 1].copy()
+
+        # Event budget exhausted: finalize the survivors at their last
+        # event's time, exactly as the scalar loop reports them.
+        for i in range(len(live)):
+            finalize(i, last_t[i], events_done, "max_events")
+        return results  # type: ignore[return-value]
+
+    def _setup_members(
+        self,
+        specs: "Sequence[ReplicateSpec]",
+        graph: Any,
+        thresholds: "Sequence[float]",
+        results: "list[RunResult | None]",
+    ) -> "list[_Member]":
+        """Per-replicate setup, mirroring the scalar path draw for draw.
+
+        Replicates whose workload is already averaged short-circuit to
+        their zero-variance result here (never entering lockstep),
+        exactly as the scalar loop returns before its first event.
+        """
+        members: "list[_Member]" = []
+        for position, spec in enumerate(specs):
+            clock_seq, workload_seq, algorithm_seq = replicate_substreams(spec)
+            clock_rng = np.random.default_rng(clock_seq)
+            if callable(spec.initial_values):
+                workload_rng = np.random.default_rng(workload_seq)
+                raw_values = spec.initial_values(workload_rng)
+            else:
+                raw_values = spec.initial_values
+            values = np.asarray(raw_values, dtype=np.float64)
+            if values.shape != (graph.n_vertices,):
+                raise SimulationError(
+                    f"initial_values must have shape ({graph.n_vertices},), "
+                    f"got {values.shape}"
+                )
+            values = values.copy()
+            member = _Member(position)
+            member.values = values
+            member.variance_0 = float(np.var(values))
+            member.sum_0 = float(values.sum())
+            member.crossings = {
+                float(thr): Crossing(threshold=float(thr)) for thr in thresholds
+            }
+            if member.variance_0 == 0.0:
+                results[position] = RunResult(
+                    values=values,
+                    duration=0.0,
+                    n_events=0,
+                    n_updates=0,
+                    variance_initial=0.0,
+                    variance_final=0.0,
+                    sum_initial=member.sum_0,
+                    sum_final=member.sum_0,
+                    crossings=member.crossings,
+                    stopped_by="target_ratio",
+                )
+                continue
+            member.square_sum_0 = float(values @ values)
+            if spec.clock_factory is not None:
+                member.clock = spec.clock_factory(clock_rng)
+            else:
+                member.clock = PoissonEdgeClocks(graph.n_edges, seed=clock_rng)
+            clock_edges = getattr(member.clock, "n_edges", None)
+            if clock_edges != graph.n_edges:
+                raise SimulationError(
+                    f"clock models {clock_edges} edges but the "
+                    f"graph has {graph.n_edges}"
+                )
+            member.rng = np.random.default_rng(algorithm_seq)
+            members.append(member)
+        return members
+
+
+def _parse_run_kwargs(
+    run_kwargs: dict,
+) -> "tuple[float | None, int | None, float | None, Sequence[float], float | None]":
+    """Validate run kwargs with the scalar loop's exact rules/messages."""
+    max_time = run_kwargs.get("max_time")
+    max_events = run_kwargs.get("max_events")
+    target_ratio = run_kwargs.get("target_ratio")
+    thresholds = run_kwargs.get("thresholds", (math.e**-2,))
+    divergence_ratio = run_kwargs.get("divergence_ratio", 1e9)
+    if max_time is None and max_events is None and target_ratio is None:
+        raise SimulationError(
+            "provide at least one of max_time, max_events, target_ratio"
+        )
+    if max_time is not None and max_time <= 0:
+        raise SimulationError(f"max_time must be positive, got {max_time}")
+    if max_events is not None and max_events < 1:
+        raise SimulationError(f"max_events must be positive, got {max_events}")
+    if target_ratio is not None and target_ratio <= 0:
+        raise SimulationError(f"target_ratio must be positive, got {target_ratio}")
+    for threshold in thresholds:
+        if threshold <= 0:
+            raise SimulationError(f"thresholds must be positive, got {threshold}")
+    return max_time, max_events, target_ratio, thresholds, divergence_ratio

@@ -26,6 +26,7 @@ from repro.engine.backends import (
     execute_with_retry,
     resolve_backend,
 )
+from repro.engine.kernels import default_kernel, normalize_kernel
 from repro.engine.results import RunResult
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
@@ -110,6 +111,12 @@ class MonteCarloRunner:
         fleet mid-batch).  Replicate streams are functions of the specs
         alone, so a retried batch is bit-identical to an undisturbed
         one.  Deterministic failures never retry.
+    kernel:
+        Simulation-kernel request stamped on every spec (``"auto"``,
+        ``"scalar"`` or ``"vectorized"`` — see
+        :mod:`repro.engine.kernels`); ``None`` falls back to the
+        ``REPRO_KERNEL`` environment variable, then ``"auto"``.  Purely
+        a scheduling choice: results are bit-identical across kernels.
     """
 
     def __init__(
@@ -125,6 +132,7 @@ class MonteCarloRunner:
         backend: "ExecutionBackend | str | None" = None,
         n_workers: "int | None" = None,
         max_batch_retries: int = 1,
+        kernel: "str | None" = None,
     ) -> None:
         if max_batch_retries < 0:
             raise SimulationError(
@@ -137,6 +145,9 @@ class MonteCarloRunner:
         self.clock_factory = clock_factory
         self.backend = resolve_backend(backend, n_workers=n_workers)
         self.max_batch_retries = max_batch_retries
+        self.kernel = (
+            default_kernel() if kernel is None else normalize_kernel(kernel)
+        )
 
     def shared_state(self) -> "dict[str, object]":
         """The configuration's immutable payload for shared-state shipping.
@@ -222,6 +233,7 @@ class MonteCarloRunner:
                 seed_sequence=derive_child(root, index),
                 clock_factory=clock_factory,
                 run_kwargs=dict(run_kwargs),
+                kernel=self.kernel,
             )
             for index in range(start, start + n_replicates)
         ]

@@ -341,10 +341,24 @@ def simulate(
     *,
     seed: "int | np.random.Generator | None" = None,
     clock: "object | None" = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    recompute_every: int = DEFAULT_RECOMPUTE_EVERY,
     **run_kwargs: object,
 ) -> RunResult:
-    """One-call convenience: build a :class:`Simulator` and run it."""
+    """One-call convenience: build a :class:`Simulator` and run it.
+
+    ``batch_size`` and ``recompute_every`` are constructor knobs, not
+    ``run()`` kwargs, so they are forwarded explicitly — leaving them in
+    ``run_kwargs`` would either be silently dropped or rejected by
+    ``run()`` depending on the call.
+    """
     simulator = Simulator(
-        graph, algorithm, initial_values, clock=clock, seed=seed
+        graph,
+        algorithm,
+        initial_values,
+        clock=clock,
+        seed=seed,
+        batch_size=batch_size,
+        recompute_every=recompute_every,
     )
     return simulator.run(**run_kwargs)  # type: ignore[arg-type]

@@ -713,6 +713,15 @@ class SweepRunner:
         stream is a function of its spec, so a retried round is
         bit-identical to an undisturbed one; ``stats["round_retries"]``
         counts them.
+    kernel:
+        Simulation-kernel request stamped on every replicate spec
+        (``"auto"``, ``"scalar"`` or ``"vectorized"`` — see
+        :mod:`repro.engine.kernels`); ``None`` falls back to the
+        ``REPRO_KERNEL`` environment variable, then ``"auto"``.  Because
+        every round batches same-configuration replicate windows,
+        eligible windows advance in numpy lockstep; results are
+        bit-identical across kernels, and ``stats["kernel_installs"]`` /
+        ``stats["vectorized_replicates"]`` report which path engaged.
     """
 
     def __init__(
@@ -727,6 +736,7 @@ class SweepRunner:
         keep_run_results: bool = False,
         share_state: bool = True,
         max_round_retries: int = 1,
+        kernel: "str | None" = None,
     ) -> None:
         if max_round_retries < 0:
             raise SweepError(
@@ -736,6 +746,7 @@ class SweepRunner:
         self.seed = seed
         self.budget = budget if budget is not None else ReplicateBudget.fixed(8)
         self.backend = resolve_backend(backend, n_workers=n_workers)
+        self.kernel = kernel
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
@@ -844,6 +855,7 @@ class SweepRunner:
             seed=sequence,
             clock_factory=config.clock_factory,
             backend="serial",  # spec building only; execution is batched
+            kernel=self.kernel,
         )
         return _PointState(point, config, runner, sequence, monotone)
 
@@ -918,6 +930,10 @@ class SweepRunner:
             "points_resumed": len(done),
             "round_retries": 0,
         }
+        # Kernel-engagement counters are cumulative on the backend (it
+        # may be shared across sweeps); snapshotting lets this run's
+        # stats report only its own replicates.
+        kernel_before = dict(getattr(self.backend, "kernel_stats", None) or {})
         states = [
             self._prepare_state(point)
             for point in points
@@ -996,6 +1012,18 @@ class SweepRunner:
             pending = still_pending
             if newly_settled:
                 self._write_checkpoint(done)
+        # Surface which simulation kernel actually executed this sweep's
+        # replicates (fast-path verification: a benchmark claiming
+        # vectorized throughput must see vectorized_replicates > 0).
+        kernel_after = getattr(self.backend, "kernel_stats", None) or {}
+        for key in (
+            "kernel_installs",
+            "vectorized_replicates",
+            "scalar_replicates",
+        ):
+            self.stats[key] = int(kernel_after.get(key, 0)) - int(
+                kernel_before.get(key, 0)
+            )
         return SweepResult(
             sweep_name=self.spec.name,
             axes={axis.name: list(axis.values) for axis in self.spec.axes},
@@ -1019,6 +1047,7 @@ def run_sweep(
     checkpoint_path: "str | Path | None" = None,
     share_state: bool = True,
     max_round_retries: int = 1,
+    kernel: "str | None" = None,
 ) -> SweepResult:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     return SweepRunner(
@@ -1030,4 +1059,5 @@ def run_sweep(
         checkpoint_path=checkpoint_path,
         share_state=share_state,
         max_round_retries=max_round_retries,
+        kernel=kernel,
     ).run()

@@ -54,6 +54,7 @@ from repro.engine.backends import (
     registered_backends,
     scoped_shared_backends,
 )
+from repro.engine.kernels import KERNEL_CHOICES, KERNEL_ENV_VAR, default_kernel
 from repro.engine.sweeps import ReplicateBudget, SweepRunner
 from repro.errors import ReproError, SimulationError
 from repro.experiments.harness import SCALES
@@ -98,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
         f"${WORKERS_ENV_VAR} or serial); results are identical to serial "
         "for the same seed",
     )
+    run.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help="simulation kernel for replicate execution (default: "
+        f"${KERNEL_ENV_VAR} or auto); 'vectorized' advances eligible "
+        "same-configuration replicate batches in numpy lockstep — "
+        "results are bit-identical across kernels for the same seed",
+    )
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -138,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the configuration x replicate fan-out "
         f"(default: ${WORKERS_ENV_VAR} or serial); results are identical "
         "across worker counts for the same seed",
+    )
+    sweep.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help="simulation kernel for replicate execution (default: "
+        f"${KERNEL_ENV_VAR} or auto); results are bit-identical across "
+        "kernels for the same seed",
     )
     sweep.add_argument(
         "--target-ci",
@@ -264,6 +282,7 @@ def _run_sweep_command(args) -> int:
             n_workers=args.workers,
             checkpoint_path=args.checkpoint,
             share_state=not args.no_shared_state,
+            kernel=args.kernel,
         )
         try:
             result = runner.run()
@@ -348,6 +367,13 @@ def main(argv: "list[str] | None" = None) -> int:
         except SimulationError as exc:
             print(exc, file=sys.stderr)
             return 2
+    if args.kernel is None:
+        # Same early surfacing for a bad REPRO_KERNEL value.
+        try:
+            default_kernel()
+        except SimulationError as exc:
+            print(exc, file=sys.stderr)
+            return 2
 
     if args.experiment.lower() == "all":
         ids = list(EXPERIMENTS)
@@ -360,6 +386,9 @@ def main(argv: "list[str] | None" = None) -> int:
     saved_workers = os.environ.get(WORKERS_ENV_VAR)
     if args.workers is not None:
         os.environ[WORKERS_ENV_VAR] = str(args.workers)
+    saved_kernel = os.environ.get(KERNEL_ENV_VAR)
+    if args.kernel is not None:
+        os.environ[KERNEL_ENV_VAR] = args.kernel
     try:
         # Leave no trace in long-lived hosts: pools this run creates are
         # released on exit, pools the host already had warm are kept.
@@ -383,6 +412,11 @@ def main(argv: "list[str] | None" = None) -> int:
                 os.environ.pop(WORKERS_ENV_VAR, None)
             else:
                 os.environ[WORKERS_ENV_VAR] = saved_workers
+        if args.kernel is not None:
+            if saved_kernel is None:
+                os.environ.pop(KERNEL_ENV_VAR, None)
+            else:
+                os.environ[KERNEL_ENV_VAR] = saved_kernel
 
 
 if __name__ == "__main__":

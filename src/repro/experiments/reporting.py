@@ -74,6 +74,13 @@ def render_sweep_stats(
             f"; shared-state shipping: {stats['shared_state_points']} "
             "configuration payload(s) (at most once per worker)"
         )
+    if "vectorized_replicates" in stats or "scalar_replicates" in stats:
+        line += (
+            f"; kernels: {stats.get('vectorized_replicates', 0)} "
+            f"replicate(s) vectorized in "
+            f"{stats.get('kernel_installs', 0)} lockstep batch(es), "
+            f"{stats.get('scalar_replicates', 0)} scalar"
+        )
     return line
 
 

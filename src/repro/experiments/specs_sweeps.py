@@ -17,6 +17,15 @@ Every builder is a module-level function returning a
 sweep replicates fan out to worker processes unchanged — and the
 runner's shared-state shipping can install each point's graph once per
 worker.
+
+The kernel layer (:mod:`repro.engine.kernels`) composes with every
+sweep declared here: arms whose algorithm is a pure pairwise-convex
+update under the default Poisson clocks (``"vanilla"`` and
+``"convex"``) are eligible for the vectorized replicate-batch kernel
+and advance a whole replicate window in numpy lockstep, while the
+``"algorithm_a"`` (non-convex, scheduled-edge) arms always take the
+scalar event loop — with bit-identical :class:`SweepResult` output
+either way, so ``--kernel`` is purely a throughput knob.
 """
 
 from __future__ import annotations
@@ -100,7 +109,13 @@ E9_GRID_DIMS = {"smoke": (3, 3), "default": (6, 8), "full": (6, 8)}
 
 def _point_config(pair: BridgedPair, algorithm: str) -> PointConfig:
     """The measurement every ported sweep point runs: T_av of one
-    algorithm on one bridged pair under the cut-aligned workload."""
+    algorithm on one bridged pair under the cut-aligned workload.
+
+    The ``"vanilla"`` arm vectorizes (pairwise-convex update, default
+    Poisson clocks); the ``"algorithm_a"`` arm always falls back to the
+    scalar kernel (non-convex epoch-scheduled update) — see
+    ``docs/kernels.md``.
+    """
     x0 = cut_aligned(pair.partition)
     if algorithm == "vanilla":
         factory: "Callable[..., Any]" = VanillaGossip

@@ -1,0 +1,123 @@
+"""Property-based equivalence of the scalar and vectorized kernels.
+
+Randomized workloads, seeds, convexity parameters, thresholds and stop
+budgets — under all of them the vectorized replicate-batch kernel must
+reproduce the scalar event loop's results **bit-identically**, because
+kernel choice is a scheduling decision with no modeling content.  These
+properties complement the example-based suite in
+``tests/unit/test_kernels.py`` by searching the configuration space
+instead of enumerating it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.backends import AlgorithmFactory
+from repro.engine.results import results_identical
+from repro.engine.runner import MonteCarloRunner
+from repro.graphs.topologies import complete_graph, cycle_graph
+
+
+class FixedWorkload:
+    """Deterministic length-8 workload from a hypothesis-drawn list."""
+
+    def __init__(self, values) -> None:
+        self.values = [float(v) for v in values]
+
+    def __call__(self, rng: np.random.Generator):
+        return list(self.values)
+
+
+values_8 = st.lists(
+    st.floats(-1000.0, 1000.0, allow_nan=False, allow_infinity=False),
+    min_size=8,
+    max_size=8,
+)
+
+
+def kernels_agree(graph, factory, workload, seed, n_replicates, **run_kwargs):
+    scalar = MonteCarloRunner(
+        graph, factory, workload, seed=seed, kernel="scalar"
+    ).run(n_replicates, **run_kwargs)
+    vector = MonteCarloRunner(
+        graph, factory, workload, seed=seed, kernel="vectorized"
+    ).run(n_replicates, **run_kwargs)
+    assert len(scalar) == len(vector)
+    for a, b in zip(scalar, vector):
+        assert results_identical(a, b)
+
+
+class TestKernelEquivalence:
+    @given(values_8, st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_vanilla_event_budget(self, initial, seed):
+        from repro.algorithms.vanilla import VanillaGossip
+
+        kernels_agree(
+            complete_graph(8),
+            VanillaGossip,
+            FixedWorkload(initial),
+            seed,
+            5,
+            max_events=400,
+        )
+
+    @given(
+        values_8,
+        st.integers(0, 2**31 - 1),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_convex_alpha_sweep(self, initial, seed, alpha):
+        from repro.algorithms.convex import ConvexGossip
+
+        kernels_agree(
+            cycle_graph(8),
+            AlgorithmFactory(ConvexGossip, alpha=alpha),
+            FixedWorkload(initial),
+            seed,
+            5,
+            max_events=300,
+            thresholds=(0.5, 0.05),
+        )
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.floats(0.0, 0.5),
+        st.floats(0.5, 1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_convex_weights(self, seed, low, high):
+        from repro.algorithms.convex import RandomConvexGossip
+
+        graph = complete_graph(8)
+
+        def workload(rng):
+            return rng.normal(size=8)
+
+        kernels_agree(
+            graph,
+            AlgorithmFactory(RandomConvexGossip, low=low, high=high),
+            workload,
+            seed,
+            5,
+            max_events=300,
+        )
+
+    @given(values_8, st.integers(0, 2**31 - 1), st.floats(1e-4, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_target_ratio_stop(self, initial, seed, target):
+        from repro.algorithms.vanilla import VanillaGossip
+
+        kernels_agree(
+            complete_graph(8),
+            VanillaGossip,
+            FixedWorkload(initial),
+            seed,
+            5,
+            target_ratio=target,
+            max_events=5_000,
+        )

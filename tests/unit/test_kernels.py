@@ -1,0 +1,452 @@
+"""Unit tests for the simulation-kernel layer.
+
+The contract under test is **bit-identity**: for any eligible spec the
+vectorized replicate-batch kernel must reproduce the scalar event loop's
+:class:`RunResult` to the byte — same values, same durations, same
+crossing records, same stop reason — because kernel choice (like backend
+choice) is a scheduling decision, never a modeling one.  The suite pins
+
+* the eligibility rules (which algorithm / clock / run-kwarg shapes
+  vectorize, and which must fall back to scalar),
+* result bit-identity across kernels for every eligible family and every
+  stop mode, down to single-replicate forced-vectorized batches,
+* the dispatcher's ordering and telemetry counters, and
+* sweep-level byte-identity through the whole backend matrix.
+
+Everything here lives at module level so it survives pickling to worker
+processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.convex import ConvexGossip, RandomConvexGossip
+from repro.algorithms.vanilla import VanillaGossip
+from repro.clocks.poisson import PoissonClockFactory, PoissonEdgeClocks
+from repro.clocks.schedule import RoundRobinSchedule
+from repro.engine.backends import (
+    AlgorithmFactory,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.engine.kernels import (
+    AUTO_MIN_BATCH,
+    KERNEL_ENV_VAR,
+    ScalarKernel,
+    VectorizedBatchKernel,
+    default_kernel,
+    execute_specs,
+    new_kernel_stats,
+    normalize_kernel,
+)
+from repro.engine.kernels.vectorized import (
+    eligible_clock_factory,
+    eligible_run_kwargs,
+    resolve_update,
+)
+from repro.engine.recorder import TraceRecorder
+from repro.engine.results import results_identical
+from repro.engine.runner import MonteCarloRunner
+from repro.engine.sweeps import (
+    PointConfig,
+    ReplicateBudget,
+    SweepAxis,
+    SweepRunner,
+    SweepSpec,
+)
+from repro.errors import SimulationError
+from repro.graphs.composites import dumbbell_graph
+from repro.graphs.topologies import complete_graph
+
+THRESHOLDS = (np.e**-2, 0.5)
+
+
+class GaussianWorkload:
+    """Picklable per-replicate workload sampler."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __call__(self, rng: np.random.Generator):
+        return rng.normal(size=self.n)
+
+
+class SubclassedVanilla(VanillaGossip):
+    """A subclass must never silently take the parent's fast path."""
+
+
+class RoundRobinFactory:
+    """A non-Poisson clock factory (disqualifies vectorization)."""
+
+    def __init__(self, n_edges: int) -> None:
+        self.n_edges = n_edges
+
+    def __call__(self, rng: np.random.Generator) -> RoundRobinSchedule:
+        return RoundRobinSchedule(self.n_edges)
+
+
+def runner_for(graph, factory, workload, *, kernel: str, seed: int = 42):
+    return MonteCarloRunner(graph, factory, workload, seed=seed, kernel=kernel)
+
+
+def identical_lists(a, b) -> bool:
+    return len(a) == len(b) and all(results_identical(x, y) for x, y in zip(a, b))
+
+
+ELIGIBLE_FACTORIES = [
+    pytest.param(AlgorithmFactory(VanillaGossip), id="vanilla"),
+    pytest.param(AlgorithmFactory(ConvexGossip, alpha=0.3), id="convex"),
+    pytest.param(
+        AlgorithmFactory(RandomConvexGossip, low=0.2, high=0.8),
+        id="random-convex",
+    ),
+]
+
+
+class TestEligibility:
+    def test_convex_family_resolves(self):
+        assert resolve_update(VanillaGossip()) is not None
+        assert resolve_update(ConvexGossip(alpha=0.25)) is not None
+        assert resolve_update(RandomConvexGossip(low=0.1, high=0.9)) is not None
+
+    def test_subclass_never_fast_paths(self):
+        """Exact-type matching: an on_tick override in a subclass would
+        silently diverge if the parent's update rule were applied."""
+        assert resolve_update(SubclassedVanilla()) is None
+
+    def test_clock_factory_rules(self):
+        assert eligible_clock_factory(None)
+        assert eligible_clock_factory(PoissonClockFactory(12))
+        assert not eligible_clock_factory(RoundRobinFactory(12))
+
+    def test_run_kwargs_rules(self):
+        assert eligible_run_kwargs({"max_events": 100, "target_ratio": 0.1})
+        assert eligible_run_kwargs({"max_time": 5.0, "recorder": None})
+        assert not eligible_run_kwargs({"max_events": 100, "unknown": 1})
+        assert not eligible_run_kwargs(
+            {"max_events": 100, "recorder": TraceRecorder(sample_every=10)}
+        )
+
+    def test_supports_composes_the_rules(self, k6):
+        kernel = VectorizedBatchKernel()
+        runner = runner_for(k6, VanillaGossip, GaussianWorkload(6), kernel="vectorized")
+        (spec,) = runner.build_specs(1, max_events=100)
+        assert kernel.supports(spec)
+        (spec,) = MonteCarloRunner(
+            k6,
+            SubclassedVanilla,
+            GaussianWorkload(6),
+            seed=42,
+            kernel="vectorized",
+        ).build_specs(1, max_events=100)
+        assert not kernel.supports(spec)
+        assert ScalarKernel().supports(spec)
+
+
+class TestKernelSelection:
+    def test_normalize_rejects_unknown(self):
+        with pytest.raises(SimulationError, match="unknown kernel"):
+            normalize_kernel("turbo")
+
+    def test_default_kernel_reads_environment(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert default_kernel() == "auto"
+        monkeypatch.setenv(KERNEL_ENV_VAR, "vectorized")
+        assert default_kernel() == "vectorized"
+        monkeypatch.setenv(KERNEL_ENV_VAR, "turbo")
+        with pytest.raises(SimulationError, match=KERNEL_ENV_VAR):
+            default_kernel()
+
+    def test_runner_inherits_environment_default(self, k6, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "scalar")
+        runner = MonteCarloRunner(k6, VanillaGossip, np.arange(6.0))
+        assert runner.kernel == "scalar"
+        (spec,) = runner.build_specs(1, max_events=10)
+        assert spec.kernel == "scalar"
+
+    def test_runner_rejects_unknown_kernel(self, k6):
+        with pytest.raises(SimulationError, match="unknown kernel"):
+            MonteCarloRunner(k6, VanillaGossip, np.arange(6.0), kernel="turbo")
+
+
+class TestBitIdentity:
+    """Scalar vs vectorized, field-for-field, for every eligible family."""
+
+    @pytest.mark.parametrize("factory", ELIGIBLE_FACTORIES)
+    def test_target_ratio_stop(self, factory, small_dumbbell):
+        graph = small_dumbbell.graph
+        workload = GaussianWorkload(graph.n_vertices)
+        kwargs = dict(target_ratio=1e-4, max_events=200_000, thresholds=THRESHOLDS)
+        scalar = runner_for(graph, factory, workload, kernel="scalar")
+        vector = runner_for(graph, factory, workload, kernel="vectorized")
+        assert identical_lists(scalar.run(20, **kwargs), vector.run(20, **kwargs))
+
+    @pytest.mark.parametrize("factory", ELIGIBLE_FACTORIES)
+    def test_max_events_stop(self, factory, k6):
+        workload = GaussianWorkload(6)
+        scalar = runner_for(k6, factory, workload, kernel="scalar")
+        vector = runner_for(k6, factory, workload, kernel="vectorized")
+        assert identical_lists(
+            scalar.run(20, max_events=5_000),
+            vector.run(20, max_events=5_000),
+        )
+
+    def test_max_time_stop(self, k6):
+        workload = GaussianWorkload(6)
+        scalar = runner_for(k6, VanillaGossip, workload, kernel="scalar")
+        vector = runner_for(k6, VanillaGossip, workload, kernel="vectorized")
+        assert identical_lists(
+            scalar.run(20, max_time=2.5), vector.run(20, max_time=2.5)
+        )
+
+    def test_fixed_vector_workload(self, k6):
+        x0 = np.linspace(-1.0, 1.0, 6)
+        scalar = runner_for(k6, VanillaGossip, x0, kernel="scalar")
+        vector = runner_for(k6, VanillaGossip, x0, kernel="vectorized")
+        assert identical_lists(
+            scalar.run(20, max_events=3_000),
+            vector.run(20, max_events=3_000),
+        )
+
+    def test_duplicate_and_unsorted_thresholds(self, k6):
+        workload = GaussianWorkload(6)
+        kwargs = dict(max_events=4_000, thresholds=(0.5, 0.5, np.e**-2, 0.9))
+        scalar = runner_for(k6, VanillaGossip, workload, kernel="scalar")
+        vector = runner_for(k6, VanillaGossip, workload, kernel="vectorized")
+        assert identical_lists(scalar.run(20, **kwargs), vector.run(20, **kwargs))
+
+    def test_explicit_poisson_clock_factory(self, k6):
+        workload = GaussianWorkload(6)
+        kwargs = dict(max_events=3_000)
+        results = []
+        for kernel in ("scalar", "vectorized"):
+            runner = MonteCarloRunner(
+                k6,
+                VanillaGossip,
+                workload,
+                seed=42,
+                clock_factory=PoissonClockFactory(k6.n_edges),
+                kernel=kernel,
+            )
+            results.append(runner.run(20, **kwargs))
+        assert identical_lists(*results)
+
+    def test_single_replicate_forced_vectorized(self, k6):
+        """Forced 'vectorized' takes the lockstep path at any width,
+        including the cluster worker's one-spec-per-task shape."""
+        workload = GaussianWorkload(6)
+        scalar = runner_for(k6, VanillaGossip, workload, kernel="scalar")
+        vector = runner_for(k6, VanillaGossip, workload, kernel="vectorized")
+        stats = vector.backend.kernel_stats
+        before = dict(stats)
+        assert identical_lists(
+            scalar.run(1, max_events=2_000), vector.run(1, max_events=2_000)
+        )
+        assert stats["vectorized_replicates"] - before["vectorized_replicates"] == 1
+
+    def test_zero_variance_short_circuit(self, k6):
+        x0 = np.full(6, 3.0)
+        scalar = runner_for(k6, VanillaGossip, x0, kernel="scalar")
+        vector = runner_for(k6, VanillaGossip, x0, kernel="vectorized")
+        a = scalar.run(4, target_ratio=0.1)
+        b = vector.run(4, target_ratio=0.1)
+        assert identical_lists(a, b)
+        assert all(r.stopped_by == "target_ratio" for r in b)
+        assert all(r.n_events == 0 for r in b)
+
+    def test_vectorized_rejects_bad_run_kwargs(self, k6):
+        """The lockstep loop validates with the scalar loop's messages."""
+        runner = runner_for(k6, VanillaGossip, GaussianWorkload(6), kernel="vectorized")
+        with pytest.raises(SimulationError, match="at least one"):
+            runner.run(AUTO_MIN_BATCH)
+        with pytest.raises(SimulationError, match="max_time must be positive"):
+            runner.run(AUTO_MIN_BATCH, max_time=-1.0)
+
+
+class TestFallback:
+    """Ineligible specs run scalar — and still produce correct results."""
+
+    def kernel_delta(self, runner, n, **kwargs):
+        stats = runner.backend.kernel_stats
+        before = dict(stats)
+        results = runner.run(n, **kwargs)
+        return results, {k: stats[k] - before[k] for k in stats}
+
+    def test_recorder_falls_back(self, k6):
+        runner = runner_for(k6, VanillaGossip, GaussianWorkload(6), kernel="vectorized")
+        _, delta = self.kernel_delta(
+            runner,
+            4,
+            max_events=500,
+            recorder=TraceRecorder(sample_every=100),
+        )
+        assert delta["scalar_replicates"] == 4
+        assert delta["vectorized_replicates"] == 0
+
+    def test_subclassed_algorithm_falls_back(self, k6):
+        runner = MonteCarloRunner(
+            k6,
+            SubclassedVanilla,
+            GaussianWorkload(6),
+            seed=42,
+            kernel="vectorized",
+        )
+        results, delta = self.kernel_delta(runner, 4, max_events=500)
+        assert delta["scalar_replicates"] == 4
+        assert delta["vectorized_replicates"] == 0
+        reference = MonteCarloRunner(
+            k6, VanillaGossip, GaussianWorkload(6), seed=42, kernel="scalar"
+        ).run(4, max_events=500)
+        # Same update rule, same streams: the subclass result is the
+        # parent's — via the scalar loop, never the lockstep one.
+        assert identical_lists(results, reference)
+
+    def test_scripted_clock_falls_back(self, k6):
+        runner = MonteCarloRunner(
+            k6,
+            VanillaGossip,
+            GaussianWorkload(6),
+            seed=42,
+            clock_factory=RoundRobinFactory(k6.n_edges),
+            kernel="vectorized",
+        )
+        _, delta = self.kernel_delta(runner, 4, max_events=100)
+        assert delta["scalar_replicates"] == 4
+        assert delta["vectorized_replicates"] == 0
+
+    def test_auto_demotes_small_batches(self, k6):
+        runner = runner_for(k6, VanillaGossip, GaussianWorkload(6), kernel="auto")
+        _, delta = self.kernel_delta(runner, AUTO_MIN_BATCH - 1, max_events=500)
+        assert delta["scalar_replicates"] == AUTO_MIN_BATCH - 1
+        assert delta["vectorized_replicates"] == 0
+        _, delta = self.kernel_delta(runner, AUTO_MIN_BATCH, max_events=500)
+        assert delta["vectorized_replicates"] == AUTO_MIN_BATCH
+        assert delta["kernel_installs"] == 1
+
+    def test_scalar_mode_never_vectorizes(self, k6):
+        runner = runner_for(k6, VanillaGossip, GaussianWorkload(6), kernel="scalar")
+        _, delta = self.kernel_delta(runner, 32, max_events=500)
+        assert delta["vectorized_replicates"] == 0
+        assert delta["scalar_replicates"] == 32
+
+
+class TestDispatcher:
+    def test_interleaved_configurations_keep_order(self, k6, c8):
+        """Two configurations interleaved in one batch: the dispatcher
+        groups internally but must return submission order."""
+        specs_a = runner_for(
+            k6, VanillaGossip, GaussianWorkload(6), kernel="vectorized"
+        ).build_specs(6, max_events=400)
+        specs_b = runner_for(
+            c8, AlgorithmFactory(ConvexGossip, alpha=0.4),
+            GaussianWorkload(8),
+            kernel="vectorized",
+        ).build_specs(6, max_events=400)
+        interleaved = [spec for pair in zip(specs_a, specs_b) for spec in pair]
+        stats = new_kernel_stats()
+        mixed = execute_specs(interleaved, stats=stats)
+        reference = execute_specs(specs_a) + execute_specs(specs_b)
+        assert identical_lists(mixed[0::2], reference[:6])
+        assert identical_lists(mixed[1::2], reference[6:])
+        assert stats["kernel_installs"] == 2
+        assert stats["vectorized_replicates"] == 12
+
+    def test_empty_batch(self):
+        assert execute_specs([]) == []
+
+    @pytest.mark.slow
+    def test_process_pool_chunking_identity_and_stats(self, k6):
+        """Chunked dispatch across workers preserves results and merges
+        kernel telemetry from every worker."""
+        workload = GaussianWorkload(6)
+        factory = AlgorithmFactory(VanillaGossip)
+        serial = runner_for(k6, factory, workload, kernel="scalar").run(
+            40, max_events=2_000
+        )
+        pool = ProcessPoolBackend(2)
+        runner = MonteCarloRunner(
+            k6, factory, workload, seed=42, backend=pool, kernel="vectorized"
+        )
+        try:
+            results = runner.run(40, max_events=2_000)
+            assert identical_lists(results, serial)
+            assert pool.kernel_stats["vectorized_replicates"] == 40
+            assert pool.kernel_stats["kernel_installs"] >= 2  # >= one/worker
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# sweep-level byte-identity through the backend matrix
+# ----------------------------------------------------------------------
+
+
+def build_kernel_point(*, n: int) -> PointConfig:
+    return PointConfig(
+        graph=complete_graph(int(n)),
+        algorithm_factory=VanillaGossip,
+        initial_values=GaussianWorkload(int(n)),
+        max_time=50.0,
+        max_events=100_000,
+    )
+
+
+def kernel_sweep_spec() -> SweepSpec:
+    return SweepSpec(
+        name="kernel-matrix",
+        axes=(SweepAxis("n", (5, 6)),),
+        builder=build_kernel_point,
+    )
+
+
+class TestSweepIdentity:
+    BUDGET = ReplicateBudget.fixed(6)
+
+    def test_sweep_identical_across_kernels_and_backends(self, backend):
+        """The acceptance matrix: a vectorized sweep through any backend
+        must serialize byte-identically to the serial scalar sweep."""
+        reference = SweepRunner(
+            kernel_sweep_spec(), seed=7, budget=self.BUDGET, kernel="scalar"
+        ).run()
+        swept = SweepRunner(
+            kernel_sweep_spec(),
+            seed=7,
+            budget=self.BUDGET,
+            backend=backend,
+            kernel="vectorized",
+        ).run()
+        assert json.dumps(swept.to_dict(), sort_keys=True) == json.dumps(
+            reference.to_dict(), sort_keys=True
+        )
+
+    def test_sweep_stats_report_kernel_engagement(self):
+        runner = SweepRunner(
+            kernel_sweep_spec(), seed=7, budget=self.BUDGET, kernel="vectorized"
+        )
+        runner.run()
+        assert runner.stats["vectorized_replicates"] == 12
+        assert runner.stats["scalar_replicates"] == 0
+        assert runner.stats["kernel_installs"] >= 2
+        scalar = SweepRunner(
+            kernel_sweep_spec(), seed=7, budget=self.BUDGET, kernel="scalar"
+        )
+        scalar.run()
+        assert scalar.stats["vectorized_replicates"] == 0
+        assert scalar.stats["scalar_replicates"] == 12
+
+
+def test_e3_smoke_sweep_identical_across_kernels():
+    """The CI acceptance check in-process: the paper's E3 dumbbell smoke
+    sweep serializes byte-identically under every kernel mode."""
+    from repro.experiments.specs_sweeps import e3_sweep
+
+    dumps = {}
+    for kernel in ("scalar", "vectorized"):
+        result = SweepRunner(e3_sweep(scale="smoke"), seed=123, kernel=kernel).run()
+        dumps[kernel] = json.dumps(result.to_dict(), sort_keys=True)
+    assert dumps["scalar"] == dumps["vectorized"]

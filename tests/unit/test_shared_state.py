@@ -192,7 +192,10 @@ class TestSweepShipping:
         """The economy regression: a multi-round sweep stages each
         configuration's payload for shipping exactly once (one pool
         build with one initializer blob), while inline pickling pays
-        per replicate."""
+        again on every round's pool crossing (once per dispatched
+        chunk that references the payload — chunk-level pickling
+        memoizes within a chunk, so the bound is per chunk rather
+        than per replicate)."""
         n_workers = 2
         spec = counting_spec()
 
@@ -211,17 +214,21 @@ class TestSweepShipping:
 
         CountingWorkload.pickled = 0
         backend = ProcessPoolBackend(n_workers)
-        inline = SweepRunner(
+        inline_runner = SweepRunner(
             spec,
             seed=7,
             budget=self.BUDGET,
             backend=backend,
             share_state=False,
-        ).run()
+        )
+        inline = inline_runner.run()
         backend.shutdown()
         assert sweep_json(inline) == sweep_json(result)
-        # Inline shipping pickles the payload into every replicate spec.
-        assert CountingWorkload.pickled >= result.total_replicates
+        # Inline shipping re-pickles the payload on every round: each
+        # configuration's window crosses the pool again (at least one
+        # chunk per unsettled configuration per round), where shared
+        # shipping paid once per worker for the whole sweep.
+        assert CountingWorkload.pickled >= inline_runner.stats["rounds"]
         assert shared_pickles < CountingWorkload.pickled
 
     @pytest.mark.slow

@@ -260,3 +260,53 @@ class TestIncrementalStatistics:
             simulator.run(target_ratio=-0.5)
         with pytest.raises(SimulationError):
             simulator.run(max_events=5, thresholds=(0.0,))
+
+
+class TestSimulateForwarding:
+    """Regression: simulate() must forward the constructor-only knobs.
+
+    ``batch_size`` and ``recompute_every`` are Simulator() parameters,
+    not run() kwargs — an earlier version swallowed them into
+    ``**run_kwargs`` where run() rejected them.
+    """
+
+    class CapturingClock:
+        """Records every requested batch size."""
+
+        def __init__(self, n_edges: int) -> None:
+            self.n_edges = n_edges
+            self.requests: "list[int]" = []
+
+        def next_batch(self, k: int):
+            self.requests.append(k)
+            times = np.linspace(0.1, 0.1 * k, k)
+            return times, np.zeros(k, dtype=np.int64)
+
+    def test_batch_size_reaches_the_clock(self, k6):
+        clock = self.CapturingClock(k6.n_edges)
+        simulate(k6, VanillaGossip(), [float(i) for i in range(6)],
+                 clock=clock, batch_size=17, max_events=40)
+        assert clock.requests == [17, 17, 6]
+
+    def test_recompute_every_is_validated_eagerly(self, k6):
+        # Reaching the constructor's validation proves forwarding: as a
+        # run() kwarg this would raise "unexpected keyword" instead.
+        with pytest.raises(SimulationError, match="recompute_every"):
+            simulate(k6, VanillaGossip(), np.zeros(6),
+                     recompute_every=0, max_events=10)
+
+    def test_recompute_cadence_does_not_change_the_trajectory(self, k6):
+        # recompute_every only refreshes the incremental statistics; the
+        # event stream and value trajectory must be untouched.  (batch_size
+        # is NOT stream-invariant: it changes how the clock's generator
+        # draws interleave, so same-seed runs only match at equal sizes.)
+        x0 = [float(i) for i in range(6)]
+        a = simulate(k6, VanillaGossip(), x0, seed=5, max_events=2_000)
+        b = simulate(k6, VanillaGossip(), x0, seed=5, max_events=2_000,
+                     recompute_every=7)
+        assert np.array_equal(a.values, b.values)
+        assert a.duration == b.duration
+        assert a.n_events == b.n_events
+        assert a.variance_final == pytest.approx(
+            b.variance_final, rel=1e-9, abs=1e-15
+        )

@@ -3,7 +3,10 @@
 Runs the same adaptive E3 sweep ``bench_parallel_scaling.py`` measures,
 but through the TCP cluster backend alongside the process pool at equal
 worker counts, recording configs/sec and replicates/sec per backend into
-``results/BENCH_cluster_scaling.json`` (run-stamped schema).
+``results/BENCH_cluster_scaling.json`` (run-stamped schema).  A third
+cluster variant runs under membership churn (one worker joining late,
+one draining mid-sweep) so the overhead of elasticity is tracked as its
+own trajectory.
 
 Two things are asserted unconditionally, at any scale:
 
@@ -82,6 +85,14 @@ def test_cluster_scaling(benchmark, capsys):
     contenders = {
         f"process-{N_WORKERS}": ProcessPoolBackend(N_WORKERS),
         f"cluster-{N_WORKERS}": ClusterBackend(N_WORKERS),
+        # Membership churn: one worker joins late, the other drains
+        # mid-sweep and is replaced for free.  Byte-identity is asserted
+        # below exactly as for the healthy fleet; the throughput delta
+        # vs the clean cluster run is the recorded cost of elasticity.
+        f"cluster-{N_WORKERS}-churn": ClusterBackend(
+            N_WORKERS,
+            worker_faults=["slow-start:0.5", "drain-after:3"],
+        ),
     }
     for label, backend in contenders.items():
         start = time.perf_counter()

@@ -146,8 +146,10 @@ def results_identical(first: RunResult, second: RunResult) -> bool:
                 return False
         elif a != b:
             if not (
-                isinstance(a, float) and isinstance(b, float)
-                and math.isnan(a) and math.isnan(b)
+                isinstance(a, float)
+                and isinstance(b, float)
+                and math.isnan(a)
+                and math.isnan(b)
             ):
                 return False
     return True

@@ -46,8 +46,11 @@ shipping on or off (``share_state=False`` restores inline pickling).
 
 **Checkpoints.**  :meth:`SweepResult.to_dict` round-trips through JSON
 (:meth:`SweepResult.from_dict`) with non-finite samples encoded
-portably; :class:`SweepRunner` can write the partial result after every
-round and resume a sweep by skipping already-settled configurations.
+portably; :class:`SweepRunner` writes an atomic (tmp + fsync + rename)
+checkpoint after every round carrying the settled points *and* each
+pending configuration's sample prefix, so a sweep resumes byte-
+identically even after the coordinator itself crashes mid-sweep — a
+torn or corrupt checkpoint is rejected with a clear :class:`SweepError`.
 """
 
 from __future__ import annotations
@@ -76,7 +79,7 @@ from repro.engine.backends import (
 )
 from repro.engine.results import RunResult
 from repro.engine.runner import MonteCarloRunner
-from repro.errors import SweepError
+from repro.errors import SerializationError, SweepError
 from repro.graphs.graph import Graph
 from repro.util.rng import derive_child
 
@@ -689,9 +692,13 @@ class SweepRunner:
         Execution backend selection, exactly as for
         :class:`~repro.engine.runner.MonteCarloRunner`.
     checkpoint_path:
-        Optional JSON path written after every round with the settled
-        points so far; an existing file resumes the sweep, skipping the
-        configurations it already contains.
+        Optional JSON path written atomically after every round with the
+        settled points so far *plus* every pending configuration's
+        sample prefix; an existing file resumes the sweep — settled
+        configurations are skipped outright, pending ones reschedule
+        from their checkpointed prefix — and the resumed run's artifact
+        is byte-identical to an uninterrupted one, even after a
+        coordinator crash mid-round.
     keep_run_results:
         Retain each settled configuration's raw :class:`RunResult` list
         (trimmed to the settled prefix) in :attr:`run_results` — the
@@ -802,12 +809,34 @@ class SweepRunner:
             "budget": self.budget.logical_dict(),
         })
 
-    def _load_checkpoint(self) -> "dict[int, PointResult]":
+    def _load_checkpoint(
+        self,
+    ) -> "tuple[dict[int, PointResult], dict[int, list[float]]]":
+        """Read a checkpoint: (settled points, partial pending samples).
+
+        A truncated or otherwise corrupt file raises a clear
+        :class:`SweepError` instead of crashing mid-parse — writes are
+        atomic (:func:`~repro.util.serialization.to_json_file`), so a
+        corrupt checkpoint means external damage, not a torn write.
+        """
         if self.checkpoint_path is None or not self.checkpoint_path.exists():
-            return {}
+            return {}, {}
         from repro.util.serialization import from_json_file
 
-        payload = from_json_file(self.checkpoint_path)
+        try:
+            payload = from_json_file(self.checkpoint_path)
+        except SerializationError as exc:
+            raise SweepError(
+                f"checkpoint {self.checkpoint_path} is unreadable ({exc}); "
+                "it was damaged after being written — delete it to restart "
+                "the sweep from scratch"
+            ) from exc
+        if not isinstance(payload, dict) or "fingerprint" not in payload:
+            raise SweepError(
+                f"checkpoint {self.checkpoint_path} is not a sweep "
+                "checkpoint (no fingerprint); delete it or point the "
+                "runner elsewhere"
+            )
         fingerprint = payload.get("fingerprint")
         if fingerprint != self._fingerprint():
             raise SweepError(
@@ -815,13 +844,38 @@ class SweepRunner:
                 "sweep (name/axes/seed/budget mismatch); delete it or point "
                 "the runner elsewhere"
             )
-        done = {}
-        for entry in payload.get("points", []):
-            result = PointResult.from_dict(entry)
-            done[result.index] = result
-        return done
+        try:
+            done = {}
+            for entry in payload.get("points", []):
+                result = PointResult.from_dict(entry)
+                done[result.index] = result
+            partial = {}
+            for entry in payload.get("partial", []):
+                partial[int(entry["index"])] = [
+                    _decode_float(s) for s in entry["samples"]
+                ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SweepError(
+                f"checkpoint {self.checkpoint_path} is structurally corrupt "
+                f"({type(exc).__name__}: {exc}); delete it to restart the "
+                "sweep from scratch"
+            ) from exc
+        return done, partial
 
-    def _write_checkpoint(self, done: "dict[int, PointResult]") -> None:
+    def _write_checkpoint(
+        self,
+        done: "dict[int, PointResult]",
+        pending: "Sequence[_PointState] | None" = None,
+    ) -> None:
+        """Atomically persist settled points plus pending samples.
+
+        Written after *every* round, so a coordinator crash loses at
+        most the round in flight: resume restores each pending point's
+        sample prefix and reschedules from there, reproducing the
+        uninterrupted run byte-for-byte (every sample is a pure function
+        of (point, replicate index), and the stopping rule's verdict is
+        a deterministic function of each sample prefix).
+        """
         if self.checkpoint_path is None:
             return
         from repro.util.serialization import to_json_file
@@ -831,6 +885,16 @@ class SweepRunner:
                 "fingerprint": self._fingerprint(),
                 "points": [
                     done[index].to_dict() for index in sorted(done)
+                ],
+                "partial": [
+                    {
+                        "index": state.point.index,
+                        "samples": [
+                            _encode_float(s) for s in state.samples
+                        ],
+                    }
+                    for state in (pending or [])
+                    if state.samples
                 ],
             },
             self.checkpoint_path,
@@ -922,12 +986,13 @@ class SweepRunner:
         docstring for why the outcome is scheduling-independent).
         """
         points = self.spec.expand()
-        done = self._load_checkpoint()
+        done, partial = self._load_checkpoint()
         self.run_results = {}
         self.stats = {
             "rounds": 0,
             "replicates_scheduled": 0,
             "points_resumed": len(done),
+            "replicates_resumed": sum(len(s) for s in partial.values()),
             "round_retries": 0,
         }
         # Kernel-engagement counters are cumulative on the backend (it
@@ -939,6 +1004,17 @@ class SweepRunner:
             for point in points
             if point.index not in done
         ]
+        # Resume pending points from their checkpointed sample prefix: a
+        # sample is a pure function of (point, replicate index), so
+        # rescheduling from n_scheduled = len(samples) reproduces the
+        # uninterrupted run exactly, and rescanning already-rejected
+        # prefixes (scan_from stays 0) repeats their verdicts — the
+        # final artifact is byte-identical to a crash-free run.
+        for state in states:
+            restored = partial.get(state.point.index)
+            if restored:
+                state.samples = list(restored)
+                state.n_scheduled = len(restored)
         # One mapping object for the whole sweep (identity-stable, so the
         # process backend installs it in its workers exactly once): every
         # unsettled configuration's immutable state, keyed by point index.
@@ -996,7 +1072,6 @@ class SweepRunner:
                 if self.keep_run_results:
                     state.run_results.append(result)
             still_pending = []
-            newly_settled = False
             for state in pending:
                 decision = evaluate_stopping(
                     state.samples, self.budget,
@@ -1008,10 +1083,10 @@ class SweepRunner:
                     still_pending.append(state)
                 else:
                     done[state.point.index] = self._settle(state, decision)
-                    newly_settled = True
             pending = still_pending
-            if newly_settled:
-                self._write_checkpoint(done)
+            # Every round, not just on settlement: a coordinator crash
+            # then loses at most the round in flight (crash-safe resume).
+            self._write_checkpoint(done, pending)
         # Surface which simulation kernel actually executed this sweep's
         # replicates (fast-path verification: a benchmark claiming
         # vectorized throughput must see vectorized_replicates > 0).

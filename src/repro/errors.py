@@ -79,6 +79,17 @@ class ClusterError(SimulationError):
         super().__init__(message)
 
 
+class ClusterAuthError(ClusterError):
+    """A peer failed the cluster's HMAC handshake.
+
+    Never retryable: retrying with the same (wrong or missing) token
+    would fail identically, so workers exit instead of reconnecting.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, retryable=False)
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 

@@ -55,6 +55,7 @@ from repro.engine.backends import (
     scoped_shared_backends,
 )
 from repro.engine.kernels import KERNEL_CHOICES, KERNEL_ENV_VAR, default_kernel
+from repro.engine.wire import AUTH_TOKEN_ENV_VAR
 from repro.engine.sweeps import ReplicateBudget, SweepRunner
 from repro.errors import ReproError, SimulationError
 from repro.experiments.harness import SCALES
@@ -210,6 +211,25 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of shipping it once per worker (measurement/debugging "
         "only; results are bit-identical either way)",
     )
+    sweep.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="cluster backend only: shared secret for the worker HMAC "
+        f"handshake (default: ${AUTH_TOKEN_ENV_VAR}); workers attaching "
+        "with a different token are rejected before any payload is "
+        "deserialized",
+    )
+    sweep.add_argument(
+        "--worker-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="cluster backend only (testing/chaos): arm the Nth spawned "
+        "worker with a fault plan (repeatable; comma-separated tokens "
+        "die-after:N, drop-after:N, disconnect-after:N, drain-after:N, "
+        "slow-start:SECONDS, duplicate-results, slow:SECONDS)",
+    )
 
     worker = subparsers.add_parser(
         "worker",
@@ -231,11 +251,43 @@ def build_parser() -> argparse.ArgumentParser:
         "coordinator's heartbeat timeout)",
     )
     worker.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="shared secret for the coordinator HMAC handshake (default: "
+        f"${AUTH_TOKEN_ENV_VAR}; prefer the environment variable — argv "
+        "is visible in `ps`)",
+    )
+    worker.add_argument(
+        "--drain-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="detach gracefully after N results (finish the in-flight "
+        "replicate, deliver it, say goodbye); SIGTERM drains the same way",
+    )
+    worker.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive reconnect attempts after a lost connection "
+        "before giving up (backoff uses decorrelated jitter)",
+    )
+    worker.add_argument(
+        "--reconnect-backoff",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="base delay seeding the reconnect backoff",
+    )
+    worker.add_argument(
         "--fault",
         default=None,
         metavar="SPEC",
         help="fault-injection plan (testing/chaos only): comma-separated "
-        "die-after:N, drop-after:N, duplicate-results, slow:SECONDS",
+        "die-after:N, drop-after:N, disconnect-after:N, drain-after:N, "
+        "slow-start:SECONDS, duplicate-results, slow:SECONDS",
     )
 
     subparsers.add_parser("list", help="list available experiments")
@@ -264,6 +316,31 @@ def _sweep_budget(args) -> ReplicateBudget:
     return ReplicateBudget.from_dict(merged)
 
 
+def _resolve_sweep_backend(args) -> "object | str | None":
+    """Map the sweep CLI's cluster knobs onto a backend argument.
+
+    The plain named backends go through the registry untouched; the
+    cluster-only flags (--auth-token, --worker-fault) require
+    constructing the ClusterBackend directly.
+    """
+    if args.backend != "cluster":
+        if args.auth_token is not None or args.worker_fault:
+            raise SimulationError(
+                "--auth-token/--worker-fault only apply to --backend cluster"
+            )
+        return args.backend
+    from repro.engine.cluster import ClusterBackend
+
+    n_workers = args.workers
+    if n_workers is None and os.environ.get(WORKERS_ENV_VAR):
+        n_workers = default_n_workers()
+    return ClusterBackend(
+        n_workers,
+        auth_token=args.auth_token,
+        worker_faults=args.worker_fault or None,
+    )
+
+
 def _run_sweep_command(args) -> int:
     spec = get_sweep(args.sweep_id, scale=args.scale)
     for override in args.axis:
@@ -278,7 +355,7 @@ def _run_sweep_command(args) -> int:
             spec,
             seed=args.seed,
             budget=budget,
-            backend=args.backend,
+            backend=_resolve_sweep_backend(args),
             n_workers=args.workers,
             checkpoint_path=args.checkpoint,
             share_state=not args.no_shared_state,
@@ -323,11 +400,33 @@ def _run_worker_command(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.drain_after is not None and args.drain_after < 1:
+        print(
+            f"--drain-after must be >= 1, got {args.drain_after}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_reconnects < 0:
+        print(
+            f"--max-reconnects must be >= 0, got {args.max_reconnects}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.reconnect_backoff <= 0:
+        print(
+            f"--reconnect-backoff must be positive, got {args.reconnect_backoff}",
+            file=sys.stderr,
+        )
+        return 2
     return run_worker(
         host,
         port,
         fault=args.fault,
         heartbeat_interval=args.heartbeat_interval,
+        auth_token=args.auth_token,
+        drain_after=args.drain_after,
+        max_reconnects=args.max_reconnects,
+        reconnect_backoff=args.reconnect_backoff,
     )
 
 

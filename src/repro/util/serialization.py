@@ -9,6 +9,7 @@ artifacts (`EXPERIMENTS.md` inputs) diffable and machine-readable.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -44,13 +45,40 @@ def to_jsonable(value: Any) -> Any:
 
 
 def to_json_file(value: Any, path: "str | Path", *, indent: int = 2) -> Path:
-    """Write ``value`` (after :func:`to_jsonable`) to ``path``; returns it."""
+    """Atomically write ``value`` (after :func:`to_jsonable`) to ``path``.
+
+    The document is serialized fully in memory first (a value that fails
+    :func:`to_jsonable` never touches the file), written to a same-
+    directory temp file, fsynced, and renamed over the target — so a
+    crash at any instant leaves either the old complete file or the new
+    complete file, never a torn one.  Checkpoint resume depends on this.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    payload = to_jsonable(value)
-    with open(target, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=indent, sort_keys=True)
-        handle.write("\n")
+    text = json.dumps(to_jsonable(value), indent=indent, sort_keys=True) + "\n"
+    tmp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:
+        # Durability of the rename itself (best effort; not all
+        # platforms/filesystems support fsyncing a directory).
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
     return target
 
 

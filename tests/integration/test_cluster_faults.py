@@ -19,12 +19,13 @@ worker processes.
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
 from repro.algorithms.vanilla import VanillaGossip
 from repro.engine.backends import SerialBackend
-from repro.engine.cluster import ClusterBackend, FaultPlan
+from repro.engine.cluster import ClusterBackend, FaultPlan, run_worker
 from repro.engine.sweeps import (
     PointConfig,
     ReplicateBudget,
@@ -149,6 +150,174 @@ class TestFaultScenarios:
             backend.shutdown()
 
 
+class TestElasticMembership:
+    """Membership churn mid-sweep: joins, drains, flaps, auth — each
+    scenario must leave the artifact byte-identical to serial and the
+    coordinator's membership counters must show the churn happened."""
+
+    def test_late_external_worker_joins_mid_sweep(self, serial_reference):
+        """Two externally attached workers, one joining ~0.8s late: the
+        coordinator integrates it into the batch in flight."""
+        backend = ClusterBackend(2, spawn_workers=False)
+        host, port = backend.address
+        codes: "dict[str, int]" = {}
+
+        def attach(name: str, fault: FaultPlan) -> None:
+            codes[name] = run_worker(
+                host,
+                port,
+                fault=fault,
+                heartbeat_interval=0.2,
+                max_reconnects=0,
+            )
+
+        threads = [
+            threading.Thread(
+                target=attach,
+                args=("steady", FaultPlan(slow=0.15)),
+                daemon=True,
+            ),
+            threading.Thread(
+                target=attach,
+                args=("late", FaultPlan(slow_start=0.8)),
+                daemon=True,
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        payload, stats = run_cluster_sweep(backend)
+        for thread in threads:
+            thread.join(timeout=10)
+        assert payload == sweep_json(serial_reference)
+        assert stats["external_joins"] == 2
+        assert stats["worker_failures"] == 0
+        assert codes == {"steady": 0, "late": 0}
+
+    def test_graceful_drain_mid_sweep(self, serial_reference):
+        """A worker draining after 3 results is a scale-down event, not
+        a failure: goodbye, requeue, free replacement spawn."""
+        backend = ClusterBackend(2, worker_faults=["drain-after:3", None])
+        payload, stats = run_cluster_sweep(backend)
+        assert payload == sweep_json(serial_reference)
+        assert stats["drains"] >= 1
+        assert stats["worker_failures"] == 0
+        assert stats["respawns"] == 0  # the replacement was free
+
+    def test_reconnect_with_backoff_mid_sweep(self, serial_reference):
+        """A WAN flap: the worker reconnects with jittered backoff and
+        resumes its identity from the coordinator's grace stash."""
+        backend = ClusterBackend(
+            2,
+            worker_faults=["disconnect-after:2", "slow:0.1"],
+            worker_reconnect_backoff=0.05,
+        )
+        payload, stats = run_cluster_sweep(backend)
+        assert payload == sweep_json(serial_reference)
+        assert stats["reconnects"] >= 1
+        assert stats["worker_failures"] >= 1
+
+    def test_tokenless_worker_rejected_mid_sweep(self, serial_reference):
+        """A keyed coordinator with its spawned (keyed) fleet completes
+        the sweep while a tokenless intruder is turned away before any
+        of its bytes are unpickled."""
+        backend = ClusterBackend(2, auth_token="sweep-secret")
+        host, port = backend.address
+        codes: "dict[str, int]" = {}
+
+        def intrude() -> None:
+            codes["intruder"] = run_worker(
+                host,
+                port,
+                heartbeat_interval=0.2,
+                auth_token="",
+                max_reconnects=0,
+            )
+
+        thread = threading.Thread(target=intrude, daemon=True)
+        thread.start()
+        payload, stats = run_cluster_sweep(backend)
+        thread.join(timeout=15)
+        assert payload == sweep_json(serial_reference)
+        assert codes.get("intruder") == 3
+        assert stats["auth_rejected"] >= 1
+        assert stats["worker_failures"] == 0
+
+
+#: Multi-round budget for the crash/resume scenario: an unreachable CI
+#: target forces every point through three rounds, so there is always a
+#: later round for the coordinator to die in.
+RESUME_BUDGET = ReplicateBudget.adaptive(
+    target_ci=0.05, min_replicates=3, max_replicates=9, round_size=3
+)
+
+
+class _CrashingClusterBackend(ClusterBackend):
+    """Raises after the first completed batch — an in-process stand-in
+    for the coordinator host dying between sweep rounds."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.batches_completed = 0
+
+    def _maybe_crash(self) -> None:
+        if self.batches_completed >= 1:
+            raise RuntimeError("simulated coordinator crash")
+
+    def execute(self, specs):
+        self._maybe_crash()
+        out = super().execute(specs)
+        self.batches_completed += 1
+        return out
+
+    def execute_shared(self, specs, shared_state):
+        self._maybe_crash()
+        out = super().execute_shared(specs, shared_state)
+        self.batches_completed += 1
+        return out
+
+
+class TestCoordinatorCrashResume:
+    def test_crash_then_checkpoint_resume_is_byte_identical(self, tmp_path):
+        """Kill the coordinator after round 1; resume from the checkpoint
+        with a fresh fleet.  The resumed run restores the interrupted
+        points' sample prefixes and the final artifact is byte-identical
+        to an uninterrupted serial run."""
+        spec = small_spec()
+        serial_path = (
+            SweepRunner(spec, seed=11, budget=RESUME_BUDGET)
+            .run()
+            .save(tmp_path / "serial.json")
+        )
+        ckpt = tmp_path / "ckpt.json"
+        crashing = _CrashingClusterBackend(2)
+        with pytest.raises(RuntimeError, match="simulated coordinator crash"):
+            try:
+                SweepRunner(
+                    spec,
+                    seed=11,
+                    budget=RESUME_BUDGET,
+                    backend=crashing,
+                    checkpoint_path=ckpt,
+                ).run()
+            finally:
+                crashing.shutdown()
+        assert ckpt.exists()  # round 1 was checkpointed before the crash
+        fresh = ClusterBackend(2)
+        try:
+            runner = SweepRunner(
+                spec,
+                seed=11,
+                budget=RESUME_BUDGET,
+                backend=fresh,
+                checkpoint_path=ckpt,
+            )
+            resumed_path = runner.run().save(tmp_path / "resumed.json")
+        finally:
+            fresh.shutdown()
+        assert runner.stats["replicates_resumed"] > 0
+        assert resumed_path.read_bytes() == serial_path.read_bytes()
+
+
 class TestAcceptanceE3ClusterSweep:
     """The PR's acceptance criterion, pinned as a regression test: the
     E3 smoke sweep on 2 local cluster workers produces a JSON artifact
@@ -196,3 +365,42 @@ class TestAcceptanceE3ClusterSweep:
         assert path.read_bytes() == serial_path.read_bytes()
         assert stats["worker_failures"] >= 1
         assert stats["reassigned"] >= 1
+
+    def test_cluster_artifact_cmp_identical_under_membership_churn(
+        self, e3_artifacts, tmp_path
+    ):
+        """The elasticity acceptance criterion: one worker joins late
+        and flaps once (reconnecting with backoff), the other drains
+        gracefully mid-sweep and is replaced — the artifact still
+        matches serial byte for byte.
+
+        A fixed budget keeps the whole sweep in one long round, so the
+        flapped worker's reconnect is guaranteed to land while the batch
+        is still in flight (the adaptive budget can settle before the
+        backoff elapses)."""
+        spec, _ = e3_artifacts
+        budget = ReplicateBudget.fixed(10)
+        serial_path = (
+            SweepRunner(spec, seed=0, budget=budget, backend=SerialBackend())
+            .run()
+            .save(tmp_path / "serial-churn.json")
+        )
+        backend = ClusterBackend(
+            2,
+            worker_faults=[
+                "slow-start:0.5,disconnect-after:2",
+                "drain-after:3",
+            ],
+            worker_reconnect_backoff=0.05,
+        )
+        try:
+            path = SweepRunner(
+                spec, seed=0, budget=budget, backend=backend
+            ).run().save(tmp_path / "cluster-churn.json")
+            stats = dict(backend.stats)
+        finally:
+            backend.shutdown()
+        assert path.read_bytes() == serial_path.read_bytes()
+        assert stats["drains"] >= 1
+        assert stats["reconnects"] >= 1
+        assert stats["worker_failures"] >= 1  # the flap itself

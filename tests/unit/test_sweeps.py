@@ -417,6 +417,70 @@ class TestCheckpointing:
             SweepRunner(spec, seed=5, budget=ReplicateBudget.fixed(3),
                         checkpoint_path=path).run()
 
+    def test_truncated_checkpoint_rejected_with_guidance(self, tmp_path):
+        """Writes are atomic, so a torn file means external damage —
+        resume must refuse it with a clear message, not crash mid-parse
+        or silently restart."""
+        path = tmp_path / "ckpt.json"
+        spec = small_spec()
+        SweepRunner(spec, seed=5, budget=ADAPTIVE,
+                    checkpoint_path=path).run()
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(SweepError, match="delete it"):
+            SweepRunner(spec, seed=5, budget=ADAPTIVE,
+                        checkpoint_path=path).run()
+
+    def test_structurally_corrupt_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        spec = small_spec()
+        SweepRunner(spec, seed=5, budget=ADAPTIVE,
+                    checkpoint_path=path).run()
+        payload = json.loads(path.read_text())
+        payload["points"][0] = {"nonsense": True}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SweepError, match="structurally corrupt"):
+            SweepRunner(spec, seed=5, budget=ADAPTIVE,
+                        checkpoint_path=path).run()
+        # Valid JSON that is simply not a sweep checkpoint.
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SweepError, match="not a sweep"):
+            SweepRunner(spec, seed=5, budget=ADAPTIVE,
+                        checkpoint_path=path).run()
+
+    def test_partial_round_resume_is_byte_identical(self, tmp_path):
+        """Crash-safe resume: kill the sweep after its first round, then
+        resume from the checkpoint.  The pending points' sample prefixes
+        are restored and the final result matches the uninterrupted run
+        byte for byte."""
+        path = tmp_path / "ckpt.json"
+        spec = small_spec()
+        budget = ReplicateBudget.adaptive(
+            target_ci=0.05, min_replicates=3, max_replicates=9, round_size=3
+        )
+        uninterrupted = SweepRunner(spec, seed=5, budget=budget).run()
+
+        class CrashAfterOneRound(CountingBackend):
+            def execute(self, specs):
+                if self.n_executed:
+                    raise RuntimeError("simulated crash")
+                return super().execute(specs)
+
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            SweepRunner(
+                spec, seed=5, budget=budget,
+                backend=CrashAfterOneRound(), checkpoint_path=path,
+            ).run()
+        payload = json.loads(path.read_text())
+        assert payload["partial"]  # round 1's samples survived the crash
+        runner = SweepRunner(
+            spec, seed=5, budget=budget,
+            backend=CountingBackend(), checkpoint_path=path,
+        )
+        resumed = runner.run()
+        assert runner.stats["replicates_resumed"] > 0
+        assert sweep_json(resumed) == sweep_json(uninterrupted)
+
 
 class TestSpecValidation:
     def test_spec_rejects_bad_shapes(self):

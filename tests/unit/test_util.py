@@ -245,6 +245,21 @@ class TestSerialization:
         with pytest.raises(SerializationError, match="invalid JSON"):
             from_json_file(bad)
 
+    def test_atomic_write_leaves_no_temp_residue(self, tmp_path):
+        path = to_json_file({"x": 1}, tmp_path / "result.json")
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_failed_serialization_preserves_existing_file(self, tmp_path):
+        """A crash (or unserializable value) mid-write must leave the
+        previous complete file in place — checkpoint resume depends on
+        never seeing a torn file."""
+        target = tmp_path / "result.json"
+        to_json_file({"generation": 1}, target)
+        with pytest.raises(SerializationError):
+            to_json_file({"bad": object()}, target)
+        assert from_json_file(target) == {"generation": 1}
+        assert [p.name for p in tmp_path.iterdir()] == [target.name]
+
 
 class TestTimerAndValidation:
     def test_timer_measures(self):

@@ -1,0 +1,402 @@
+"""Thin HTTP service over the results store: submit → poll → fetch.
+
+The "millions of users" serving shape: one long-lived process owns a
+:class:`~repro.engine.store.ResultsStore` and **one** execution backend
+(a warm process pool, or the cluster backend's persistent worker
+fleet), and exposes three stdlib-``http.server`` endpoints:
+
+* ``POST /v1/sweeps`` — submit a sweep request (JSON body: ``sweep_id``
+  plus optional ``scale`` / ``seed`` / ``axes`` / ``budget`` /
+  ``kernel``).  The request is fingerprinted
+  (:func:`~repro.engine.store.sweep_fingerprint`); a known fingerprint
+  answers instantly from the store — ``status: done`` with zero
+  simulation work — while a new one claims a run row and queues the
+  computation.  Responds ``{"run_id", "fingerprint", "status",
+  "cache_hit"}``.
+* ``GET /v1/runs`` / ``GET /v1/runs/<run_id>`` — poll run status
+  (``queued`` → ``running`` → ``done`` | ``failed``).
+* ``GET /v1/runs/<run_id>/result`` — fetch a done run's stored
+  canonical JSON, byte-identical to the artifact a direct run saves.
+
+Also ``GET /v1/healthz`` (liveness + backend name + queue depth) and
+``GET /v1/runs/<run_id>/envelope`` (provenance envelope).
+
+Computations run on a single background worker thread, one sweep at a
+time — replicate-level parallelism belongs to the backend (that is the
+whole engine design), so serializing sweeps keeps the fleet saturated
+without oversubscribing it.  Submissions arriving for a fingerprint
+already in flight coalesce onto the existing run row instead of
+recomputing.
+
+The service deliberately speaks *declared* sweeps only (the ``SWEEPS``
+registry ids): a network request can select and parameterize known
+grids but can never ship code, so the endpoint stays safe to expose to
+untrusted readers the way the cluster wire protocol is not.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.store import (
+    STORE_SCHEMA,
+    ResultsStore,
+    StoredRun,
+    sweep_fingerprint,
+)
+from repro.engine.sweeps import ReplicateBudget, SweepRunner, SweepSpec
+from repro.errors import ReproError, StoreError
+
+#: Submission body keys the service understands; anything else is a 400
+#: (catching typos like "axis" instead of "axes" at the door).
+_SUBMIT_KEYS = frozenset({"sweep_id", "scale", "seed", "axes", "budget", "kernel"})
+
+
+class ServiceError(ReproError):
+    """A request the service must refuse, with an HTTP status to use."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+def _resolve_submission(
+    payload: "Mapping[str, Any]",
+) -> "tuple[SweepSpec, int | None, ReplicateBudget, str | None]":
+    """Turn a submit body into ``(spec, seed, budget, kernel)``.
+
+    Lazy experiment-layer import: the sweep registry lives above the
+    engine (``repro.experiments.specs_sweeps``), so importing it at
+    module scope would invert the layering for every engine user; only
+    the service endpoint pays for it, per request.
+    """
+    from repro.experiments.specs_sweeps import (
+        axis_values_from_payload,
+        get_sweep,
+        resolve_sweep_budget,
+    )
+
+    unknown = set(payload) - _SUBMIT_KEYS
+    if unknown:
+        raise ServiceError(
+            400,
+            f"unknown submission key(s) {sorted(unknown)}; "
+            f"expected a subset of {sorted(_SUBMIT_KEYS)}",
+        )
+    sweep_id = payload.get("sweep_id")
+    if not isinstance(sweep_id, str) or not sweep_id:
+        raise ServiceError(400, "submission needs a sweep_id string")
+    scale = payload.get("scale")
+    try:
+        spec = get_sweep(sweep_id, scale=scale)
+        for name, values in (payload.get("axes") or {}).items():
+            spec = spec.with_axis(name, axis_values_from_payload(values))
+        budget = resolve_sweep_budget(scale, **(payload.get("budget") or {}))
+    except TypeError as exc:
+        raise ServiceError(400, f"bad budget override: {exc}") from None
+    except ReproError as exc:
+        raise ServiceError(400, str(exc)) from None
+    seed = payload.get("seed", 0)
+    if seed is not None and not isinstance(seed, int):
+        raise ServiceError(400, f"seed must be an integer, got {seed!r}")
+    kernel = payload.get("kernel")
+    if kernel is not None and not isinstance(kernel, str):
+        raise ServiceError(400, f"kernel must be a string, got {kernel!r}")
+    return spec, seed, budget, kernel
+
+
+class SweepService:
+    """The store-backed sweep service (HTTP front, one worker thread).
+
+    Parameters
+    ----------
+    store:
+        The results database every request reads through.
+    backend / n_workers:
+        The **long-lived** execution backend computations run on — a
+        name (``"serial"``, ``"process"``, ``"cluster"``), an instance,
+        or ``None`` for the worker-count default.  Resolved once at
+        :meth:`start`; the cluster backend's worker fleet therefore
+        persists across submissions and is released only at
+        :meth:`shutdown`.
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    kernel:
+        Default simulation-kernel request for computed sweeps (a
+        submission's ``kernel`` field overrides it) — scheduling only,
+        never part of the fingerprint.
+    """
+
+    def __init__(
+        self,
+        store: ResultsStore,
+        *,
+        backend: "ExecutionBackend | str | None" = None,
+        n_workers: "int | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        kernel: "str | None" = None,
+    ) -> None:
+        self.store = store
+        self._backend_request = backend
+        self._n_workers = n_workers
+        self._host = host
+        self._port = port
+        self.kernel = kernel
+        self.backend: "ExecutionBackend | None" = None
+        self._httpd: "ThreadingHTTPServer | None" = None
+        self._http_thread: "threading.Thread | None" = None
+        self._worker: "threading.Thread | None" = None
+        self._jobs: "queue.Queue" = queue.Queue()
+        #: run_ids queued or computing in this process (coalesces
+        #: duplicate submissions; a stale row from a crashed service is
+        #: NOT here, so resubmitting one re-enqueues the computation).
+        self._in_flight: "set[str]" = set()
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._httpd is None:
+            raise StoreError("service is not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "SweepService":
+        """Resolve the backend, start the worker and the HTTP listener."""
+        if self._httpd is not None:
+            raise StoreError("service is already started")
+        n_workers = self._n_workers
+        self.backend = resolve_backend(self._backend_request, n_workers=n_workers)
+        self._stopping = False
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="sweep-service-worker", daemon=True
+        )
+        self._worker.start()
+        handler = _build_handler(self)
+        self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="sweep-service-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain nothing (queued jobs stay ``queued`` in
+        the store for the next service instance), release the backend."""
+        self._stopping = True
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10)
+            self._http_thread = None
+        if self._worker is not None:
+            self._jobs.put(None)
+            self._worker.join(timeout=30)
+            self._worker = None
+        if self.backend is not None:
+            self.backend.shutdown()
+            self.backend = None
+
+    def __enter__(self) -> "SweepService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- the compute loop ----------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                return
+            run_id, spec, seed, budget, kernel = job
+            try:
+                self.store.mark_running(run_id)
+                result = SweepRunner(
+                    spec,
+                    seed=seed,
+                    budget=budget,
+                    backend=self.backend,
+                    kernel=kernel if kernel is not None else self.kernel,
+                ).run()
+                self.store.finish(run_id, result)
+            except Exception as exc:  # noqa: BLE001 - service must survive
+                try:
+                    self.store.fail(run_id, f"{type(exc).__name__}: {exc}")
+                except StoreError:
+                    pass
+            finally:
+                with self._lock:
+                    self._in_flight.discard(run_id)
+
+    # -- request handlers (called from HTTP threads) --------------------
+
+    def submit(self, payload: "Mapping[str, Any]") -> dict:
+        """Handle ``POST /v1/sweeps``: dedup, claim, queue."""
+        if self._stopping:
+            raise ServiceError(503, "service is shutting down")
+        spec, seed, budget, kernel = _resolve_submission(payload)
+        fingerprint = sweep_fingerprint(spec, seed=seed, budget=budget)
+        existing = self.store.lookup(fingerprint)
+        if existing is not None and existing.status == "done":
+            return {
+                "run_id": existing.run_id,
+                "fingerprint": fingerprint,
+                "status": "done",
+                "cache_hit": True,
+            }
+        row, _created = self.store.begin_run(fingerprint, spec.name)
+        with self._lock:
+            enqueue = row.run_id not in self._in_flight
+            if enqueue:
+                self._in_flight.add(row.run_id)
+        if enqueue:
+            self._jobs.put((row.run_id, spec, seed, budget, kernel))
+        return {
+            "run_id": row.run_id,
+            "fingerprint": fingerprint,
+            "status": row.status if not enqueue else "queued",
+            "cache_hit": False,
+        }
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._in_flight)
+
+
+def _build_handler(service: SweepService) -> "type[BaseHTTPRequestHandler]":
+    """The request-handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Quiet by default: a poll loop would otherwise spam stderr.
+        def log_message(self, format: str, *args: object) -> None:
+            pass
+
+        # -- plumbing --------------------------------------------------
+
+        def _send_json(self, status: int, payload: "Mapping[str, Any]") -> None:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            self._send_bytes(status, body)
+
+        def _send_bytes(self, status: int, body: bytes) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _fail(self, status: int, message: str) -> None:
+            self._send_json(status, {"error": message})
+
+        def _read_body(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ServiceError(400, "request needs a JSON body")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(400, f"invalid JSON body: {exc}") from None
+            if not isinstance(payload, dict):
+                raise ServiceError(400, "JSON body must be an object")
+            return payload
+
+        # -- routes ----------------------------------------------------
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            try:
+                if self.path.rstrip("/") != "/v1/sweeps":
+                    raise ServiceError(404, f"no such endpoint: {self.path}")
+                response = service.submit(self._read_body())
+            except ServiceError as exc:
+                self._fail(exc.status, str(exc))
+                return
+            # 200 when the store already has the answer, 202 when the
+            # submission was accepted for (or is already) computing.
+            self._send_json(200 if response["cache_hit"] else 202, response)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            try:
+                self._route_get()
+            except ServiceError as exc:
+                self._fail(exc.status, str(exc))
+            except StoreError as exc:
+                self._fail(400, str(exc))
+
+        def _route_get(self) -> None:
+            path, _, query = self.path.partition("?")
+            parts = [p for p in path.split("/") if p]
+            if parts == ["v1", "healthz"]:
+                backend = service.backend
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "schema": STORE_SCHEMA,
+                        "backend": getattr(backend, "name", None),
+                        "queue_depth": service.queue_depth(),
+                    },
+                )
+                return
+            if parts == ["v1", "runs"]:
+                filters = _parse_query(query)
+                runs = service.store.runs(
+                    sweep_name=filters.get("sweep"),
+                    status=filters.get("status"),
+                )
+                self._send_json(200, {"runs": [run.to_dict() for run in runs]})
+                return
+            if len(parts) >= 3 and parts[:2] == ["v1", "runs"]:
+                run_id = parts[2]
+                tail = parts[3:]
+                try:
+                    if not tail:
+                        self._send_json(200, self._get_run(run_id).to_dict())
+                    elif tail == ["result"]:
+                        # The stored canonical bytes, verbatim — the
+                        # byte-identity contract of the store.
+                        self._send_bytes(
+                            200,
+                            service.store.result_text(run_id).encode("utf-8"),
+                        )
+                    elif tail == ["envelope"]:
+                        self._send_json(200, service.store.envelope(run_id))
+                    else:
+                        raise ServiceError(404, f"no such endpoint: {self.path}")
+                except StoreError as exc:
+                    status = 404 if "no run" in str(exc) else 409
+                    raise ServiceError(status, str(exc)) from None
+                return
+            raise ServiceError(404, f"no such endpoint: {self.path}")
+
+        def _get_run(self, run_id: str) -> StoredRun:
+            return service.store.get(run_id)
+
+    return Handler
+
+
+def _parse_query(query: str) -> "dict[str, str]":
+    out: "dict[str, str]" = {}
+    for chunk in query.split("&"):
+        if "=" in chunk:
+            key, _, value = chunk.partition("=")
+            out[key] = value
+    return out

@@ -649,6 +649,41 @@ class SweepResult:
         return cls.from_dict(from_json_file(path))
 
 
+def sweep_fingerprint_payload(
+    spec: SweepSpec,
+    seed: "int | np.random.SeedSequence | None",
+    budget: ReplicateBudget,
+) -> dict:
+    """The JSON-able identity of what a sweep run would compute.
+
+    Everything that determines the reported :class:`SweepResult` is here
+    — name, axes, base_params, builder identity, seed, logical budget —
+    and nothing that doesn't (backend, worker count, round size and
+    kernel are scheduling, proven scheduling-independent by the
+    determinism suite).  Checkpoint resume compares this payload for
+    equality; the results store (:mod:`repro.engine.store`) hashes it
+    into the content-addressed fingerprint that dedups identical sweep
+    submissions.
+    """
+    from repro.util.serialization import to_jsonable
+
+    return to_jsonable({
+        "sweep_name": spec.name,
+        "axes": {a.name: list(a.values) for a in spec.axes},
+        # base_params and the builder identity pin the *graphs* a
+        # point measures: two scales of the same sweep share name,
+        # axes and seed but differ here, and resuming across them
+        # would silently mix instances.
+        "base_params": dict(spec.base_params),
+        "builder": getattr(spec.builder, "__qualname__", repr(spec.builder)),
+        "seed": seed if not isinstance(seed, np.random.SeedSequence)
+        else repr(seed),
+        # Logical budget only: resuming under a different round size
+        # is legitimate (the settled prefixes are identical).
+        "budget": budget.logical_dict(),
+    })
+
+
 # ----------------------------------------------------------------------
 # the scheduler
 # ----------------------------------------------------------------------
@@ -788,26 +823,9 @@ class SweepRunner:
 
     # -- checkpointing ---------------------------------------------------
 
-    def _fingerprint(self) -> dict:
-        from repro.util.serialization import to_jsonable
-
-        return to_jsonable({
-            "sweep_name": self.spec.name,
-            "axes": {a.name: list(a.values) for a in self.spec.axes},
-            # base_params and the builder identity pin the *graphs* a
-            # point measures: two scales of the same sweep share name,
-            # axes and seed but differ here, and resuming across them
-            # would silently mix instances.
-            "base_params": dict(self.spec.base_params),
-            "builder": getattr(
-                self.spec.builder, "__qualname__", repr(self.spec.builder)
-            ),
-            "seed": self.seed if not isinstance(
-                self.seed, np.random.SeedSequence) else repr(self.seed),
-            # Logical budget only: resuming under a different round size
-            # is legitimate (the settled prefixes are identical).
-            "budget": self.budget.logical_dict(),
-        })
+    def fingerprint_payload(self) -> dict:
+        """This runner's :func:`sweep_fingerprint_payload`."""
+        return sweep_fingerprint_payload(self.spec, self.seed, self.budget)
 
     def _load_checkpoint(
         self,
@@ -838,7 +856,7 @@ class SweepRunner:
                 "runner elsewhere"
             )
         fingerprint = payload.get("fingerprint")
-        if fingerprint != self._fingerprint():
+        if fingerprint != self.fingerprint_payload():
             raise SweepError(
                 f"checkpoint {self.checkpoint_path} belongs to a different "
                 "sweep (name/axes/seed/budget mismatch); delete it or point "
@@ -882,7 +900,7 @@ class SweepRunner:
 
         to_json_file(
             {
-                "fingerprint": self._fingerprint(),
+                "fingerprint": self.fingerprint_payload(),
                 "points": [
                     done[index].to_dict() for index in sorted(done)
                 ],

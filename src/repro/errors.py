@@ -100,3 +100,13 @@ class ExperimentError(ReproError):
 
 class SerializationError(ReproError):
     """A result object could not be serialized or deserialized."""
+
+
+class StoreError(ReproError):
+    """The persistent results store rejected an operation.
+
+    Raised for schema mismatches, unknown run ids, and database-level
+    corruption; messages carry recovery guidance (the store is a pure
+    cache of recomputable results, so deleting a damaged database file
+    is always safe).
+    """

@@ -50,14 +50,16 @@ import sys
 
 from repro.engine.backends import (
     WORKERS_ENV_VAR,
+    ExecutionBackend,
     default_n_workers,
     registered_backends,
     scoped_shared_backends,
 )
 from repro.engine.kernels import KERNEL_CHOICES, KERNEL_ENV_VAR, default_kernel
+from repro.engine.store import STORE_ENV_VAR, ResultsStore, run_sweep_cached
 from repro.engine.wire import AUTH_TOKEN_ENV_VAR
 from repro.engine.sweeps import ReplicateBudget, SweepRunner
-from repro.errors import ReproError, SimulationError
+from repro.errors import ReproError, SimulationError, StoreError
 from repro.experiments.harness import SCALES
 from repro.experiments.reporting import (
     render_summary,
@@ -70,9 +72,10 @@ from repro.experiments.specs import EXPERIMENTS, run_experiment
 from repro.experiments.specs_sweeps import (
     SWEEPS,
     axis_override_from_text,
-    default_sweep_budget,
     get_sweep,
+    resolve_sweep_budget,
 )
+from repro.util.tables import Table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--out", default=None, help="directory for sweep JSON")
     sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="route the sweep through the persistent results store "
+        f"(default: ${STORE_ENV_VAR} when set): a fingerprint already "
+        "in the database is a cache hit returning the stored "
+        "byte-identical result with zero simulation work; a miss "
+        "computes and records it",
+    )
+    sweep.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -290,30 +303,115 @@ def build_parser() -> argparse.ArgumentParser:
         "slow-start:SECONDS, duplicate-results, slow:SECONDS",
     )
 
+    store = subparsers.add_parser(
+        "store",
+        help="inspect and maintain the persistent results store",
+    )
+    store.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help=f"store database (default: ${STORE_ENV_VAR})",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_list = store_sub.add_parser("list", help="list stored runs")
+    store_list.add_argument(
+        "--sweep", default=None, metavar="ID", help="filter by sweep name"
+    )
+    store_list.add_argument(
+        "--status",
+        default=None,
+        choices=("queued", "running", "done", "failed"),
+        help="filter by run status",
+    )
+    store_show = store_sub.add_parser(
+        "show", help="show one run's provenance and result table"
+    )
+    store_show.add_argument("run_id", help="run id (see `store list`)")
+    store_gc = store_sub.add_parser(
+        "gc", help="reap failed/stale rows (and optionally expire old runs)"
+    )
+    store_gc.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="also expire done runs created more than D days ago",
+    )
+    store_gc.add_argument(
+        "--keep-incomplete",
+        action="store_true",
+        help="leave queued/running rows alone (use while a service or "
+        "sweep is mid-flight against this store)",
+    )
+    store_export = store_sub.add_parser(
+        "export", help="write a run's stored bytes to a JSON file"
+    )
+    store_export.add_argument("run_id", help="run id (see `store list`)")
+    store_export.add_argument(
+        "--out", required=True, metavar="PATH", help="output JSON path"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP sweep service: submit -> run_id, poll status, fetch "
+        "results (content-addressed dedup via the results store)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help=f"store database (default: ${STORE_ENV_VAR})",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7734)
+    serve.add_argument(
+        "--backend",
+        choices=registered_backends(),
+        default=None,
+        help="the long-lived execution backend computations run on; "
+        "'cluster' keeps a persistent TCP worker fleet warm across "
+        "submissions",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the service's backend",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help="default simulation kernel for computed sweeps",
+    )
+    serve.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="serve for S seconds then exit cleanly (smoke tests; "
+        "default: serve until interrupted)",
+    )
+
     subparsers.add_parser("list", help="list available experiments")
     return parser
 
 
 def _sweep_budget(args) -> ReplicateBudget:
     """Resolve the budget flags (fixed wins; adaptive flags overlay the
-    scale default)."""
-    if args.replicates is not None:
-        return ReplicateBudget.fixed(args.replicates)
-    base = default_sweep_budget(args.scale)
-    overrides = {}
-    if args.target_ci is not None:
-        overrides["target_ci"] = args.target_ci
-    if args.min_replicates is not None:
-        overrides["min_replicates"] = args.min_replicates
-    if args.max_replicates is not None:
-        overrides["max_replicates"] = args.max_replicates
-    if args.round_size is not None:
-        overrides["round_size"] = args.round_size
-    if not overrides:
-        return base
-    merged = base.to_dict()
-    merged.update(overrides)
-    return ReplicateBudget.from_dict(merged)
+    scale default) — the flag-shaped face of
+    :func:`~repro.experiments.specs_sweeps.resolve_sweep_budget`,
+    which the HTTP service shares."""
+    return resolve_sweep_budget(
+        args.scale,
+        replicates=args.replicates,
+        target_ci=args.target_ci,
+        min_replicates=args.min_replicates,
+        max_replicates=args.max_replicates,
+        round_size=args.round_size,
+    )
 
 
 def _resolve_sweep_backend(args) -> "object | str | None":
@@ -341,36 +439,88 @@ def _resolve_sweep_backend(args) -> "object | str | None":
     )
 
 
+def _store_db_path(raw: "str | None") -> str:
+    """Resolve a store database path from a flag or the environment."""
+    path = raw or os.environ.get(STORE_ENV_VAR)
+    if not path:
+        raise StoreError(
+            f"no store database given; pass --db/--store or set ${STORE_ENV_VAR}"
+        )
+    return path
+
+
 def _run_sweep_command(args) -> int:
     spec = get_sweep(args.sweep_id, scale=args.scale)
     for override in args.axis:
         name, values = axis_override_from_text(override)
         spec = spec.with_axis(name, values)
     budget = _sweep_budget(args)
+    store = (
+        ResultsStore(_store_db_path(args.store))
+        if (args.store or os.environ.get(STORE_ENV_VAR))
+        else None
+    )
+    cache_hit = False
+    runner = None
     with scoped_shared_backends():
         # Backend resolution must happen inside the scope: it registers
         # the shared worker pool, and only pools created inside the
         # block are released on exit.
-        runner = SweepRunner(
-            spec,
-            seed=args.seed,
-            budget=budget,
-            backend=_resolve_sweep_backend(args),
-            n_workers=args.workers,
-            checkpoint_path=args.checkpoint,
-            share_state=not args.no_shared_state,
-            kernel=args.kernel,
-        )
+        backend = _resolve_sweep_backend(args)
         try:
-            result = runner.run()
+            if store is not None:
+                outcome = run_sweep_cached(
+                    spec,
+                    store=store,
+                    seed=args.seed,
+                    budget=budget,
+                    backend=backend,
+                    n_workers=args.workers,
+                    checkpoint_path=args.checkpoint,
+                    share_state=not args.no_shared_state,
+                    kernel=args.kernel,
+                )
+                result, stats = outcome.result, outcome.stats
+                cache_hit = outcome.cache_hit
+            else:
+                runner = SweepRunner(
+                    spec,
+                    seed=args.seed,
+                    budget=budget,
+                    backend=backend,
+                    n_workers=args.workers,
+                    checkpoint_path=args.checkpoint,
+                    share_state=not args.no_shared_state,
+                    kernel=args.kernel,
+                )
+                result = runner.run()
+                stats = runner.stats
         finally:
             # Backends owning external resources (the cluster backend's
             # worker fleet and listener) release them here; serial and
-            # the scoped shared process pools make this a no-op.
-            runner.backend.shutdown()
+            # the scoped shared process pools make this a no-op.  On the
+            # store path only a constructed instance needs releasing —
+            # named backends resolve inside run_sweep_cached's runner
+            # and the scope exit reclaims any shared pool, while a
+            # cache hit never touches a backend at all.
+            if isinstance(backend, ExecutionBackend):
+                backend.shutdown()
+            elif runner is not None:
+                runner.backend.shutdown()
     print(render_sweep_table(result).render())
     print()
-    print(render_sweep_stats(result, runner.stats))
+    if cache_hit:
+        print(
+            f"store: cache hit — run {outcome.run_id} served from "
+            f"{store.path} with zero simulation work"
+        )
+    else:
+        print(render_sweep_stats(result, stats))
+        if store is not None:
+            print(
+                f"store: recorded run {outcome.run_id} "
+                f"(fingerprint {outcome.fingerprint[:12]})"
+            )
     if args.out:
         path = save_sweep_result(result, args.out)
         print(f"saved {path}")
@@ -430,6 +580,104 @@ def _run_worker_command(args) -> int:
     )
 
 
+def _run_store_command(args) -> int:
+    store = ResultsStore(_store_db_path(args.db))
+    if args.store_command == "list":
+        runs = store.runs(sweep_name=args.sweep, status=args.status)
+        if not runs:
+            print("store: no matching runs")
+            return 0
+        table = Table(
+            [
+                "run id",
+                "sweep",
+                "status",
+                "points",
+                "reps",
+                "commit",
+                "created (UTC)",
+            ],
+            title=f"results store {store.path}: {len(runs)} run(s)",
+        )
+        for run in runs:
+            table.add_row(
+                [
+                    run.run_id,
+                    run.sweep_name,
+                    run.status,
+                    "" if run.n_points is None else run.n_points,
+                    "" if run.total_replicates is None else run.total_replicates,
+                    (run.git_commit or "")[:12],
+                    run.created_utc,
+                ]
+            )
+        print(table.render())
+        return 0
+    if args.store_command == "show":
+        run = store.get(args.run_id)
+        for key, value in run.to_dict().items():
+            print(f"{key}: {'' if value is None else value}")
+        if run.status == "done":
+            print()
+            print(render_sweep_table(store.load_result(run.run_id)).render())
+        return 0
+    if args.store_command == "gc":
+        removed = store.gc(
+            older_than_days=args.older_than_days,
+            include_incomplete=not args.keep_incomplete,
+        )
+        print(f"store: removed {len(removed)} run(s)")
+        for run_id in removed:
+            print(f"  {run_id}")
+        return 0
+    # export — the only remaining subcommand (argparse enforces choices).
+    path = store.export(args.run_id, args.out)
+    print(f"exported {args.run_id} to {path}")
+    return 0
+
+
+def _run_serve_command(args) -> int:
+    import time as _time
+
+    from repro.engine.service import SweepService
+
+    store = ResultsStore(_store_db_path(args.store))
+    with scoped_shared_backends():
+        backend = _resolve_serve_backend(args)
+        service = SweepService(
+            store,
+            backend=backend,
+            n_workers=args.workers,
+            host=args.host,
+            port=args.port,
+            kernel=args.kernel,
+        )
+        service.start()
+        try:
+            print(f"serving sweeps on {service.url} (store: {store.path})")
+            sys.stdout.flush()
+            if args.for_seconds is not None:
+                _time.sleep(args.for_seconds)
+            else:
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.shutdown()
+    return 0
+
+
+def _resolve_serve_backend(args) -> "object | str | None":
+    """The serve command's backend knob — cluster spawns a persistent
+    local fleet sized by --workers; other names go through the registry."""
+    if args.backend != "cluster":
+        return args.backend
+    from repro.engine.cluster import ClusterBackend
+
+    return ClusterBackend(args.workers)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI main; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -448,9 +696,25 @@ def main(argv: "list[str] | None" = None) -> int:
             print(exc, file=sys.stderr)
             return 2
 
+    if args.command == "store":
+        # Dispatched before the --workers guard: the store namespace has
+        # no workers attribute (pure metadata command, nothing computes).
+        try:
+            return _run_store_command(args)
+        except ReproError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
     if args.workers is not None and args.workers < 1:
         print(f"--workers must be positive, got {args.workers}", file=sys.stderr)
         return 2
+
+    if args.command == "serve":
+        try:
+            return _run_serve_command(args)
+        except ReproError as exc:
+            print(exc, file=sys.stderr)
+            return 2
 
     if args.command == "sweep":
         try:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import os
 from pathlib import Path
 
 from repro.engine.sweeps import SweepResult
@@ -33,8 +34,16 @@ def render_sweep_table(result: SweepResult) -> Table:
     axis_names = list(result.axes)
     table = Table(
         axis_names
-        + ["T_av (q)", "ci low", "ci high", "rel width", "reps", "cens",
-           "div", "flags"],
+        + [
+            "T_av (q)",
+            "ci low",
+            "ci high",
+            "rel width",
+            "reps",
+            "cens",
+            "div",
+            "flags",
+        ],
         title=(
             f"sweep {result.sweep_name}: {result.n_points} configurations, "
             f"{result.total_replicates} replicates"
@@ -42,21 +51,24 @@ def render_sweep_table(result: SweepResult) -> Table:
     )
     for point in result.points:
         flags = "budget_exhausted" if point.budget_exhausted else ""
-        estimate = (
-            "censored" if math.isinf(point.estimate) else point.estimate
-        )
+        estimate = "censored" if math.isinf(point.estimate) else point.estimate
         table.add_row(
             [point.params[name] for name in axis_names]
-            + [estimate, point.ci_low, point.ci_high,
-               point.ci_relative_width, point.n_replicates,
-               point.n_censored, point.n_diverged, flags]
+            + [
+                estimate,
+                point.ci_low,
+                point.ci_high,
+                point.ci_relative_width,
+                point.n_replicates,
+                point.n_censored,
+                point.n_diverged,
+                flags,
+            ]
         )
     return table
 
 
-def render_sweep_stats(
-    result: SweepResult, stats: "dict[str, int]"
-) -> str:
+def render_sweep_stats(result: SweepResult, stats: "dict[str, int]") -> str:
     """One-line scheduler telemetry (rounds, surplus, resume, shipping).
 
     ``stats`` is :attr:`~repro.engine.sweeps.SweepRunner.stats` — the
@@ -84,11 +96,44 @@ def render_sweep_stats(
     return line
 
 
-def save_sweep_result(result: SweepResult, directory: "str | Path") -> Path:
-    """Write ``sweep_<id>.json`` (the resumable/diffable artifact)."""
+def save_sweep_result(
+    result: SweepResult,
+    directory: "str | Path",
+    *,
+    fingerprint: "str | None" = None,
+) -> Path:
+    """Write the sweep artifact, disambiguated by configuration.
+
+    The primary file is ``sweep_<id>_<fingerprint12>.json`` — two runs
+    of the same sweep with different configurations (axes, seed,
+    budget) land in different files instead of silently overwriting
+    each other.  A ``sweep_<id>.json`` alias (symlink where the
+    platform allows, else a copy) always points at the **latest** save,
+    so tooling that greps for the fixed name — the CI ``cmp`` jobs —
+    keeps working.  ``fingerprint`` defaults to
+    :func:`~repro.engine.store.result_fingerprint` (configuration only,
+    no code version: the same grid lands in the same file across
+    commits); pass a store fingerprint to align the artifact with a
+    stored run instead.  Returns the primary path.
+    """
+    from repro.engine.store import result_fingerprint
+
     base = Path(directory)
     base.mkdir(parents=True, exist_ok=True)
-    return result.save(base / f"sweep_{result.sweep_name.lower()}.json")
+    if fingerprint is None:
+        fingerprint = result_fingerprint(result)
+    name = result.sweep_name.lower()
+    target = result.save(base / f"sweep_{name}_{fingerprint[:12]}.json")
+    alias = base / f"sweep_{name}.json"
+    try:
+        if alias.is_symlink() or alias.exists():
+            alias.unlink()
+        os.symlink(target.name, alias)
+    except OSError:
+        # Platforms without symlink support get a plain copy — the
+        # writer is deterministic, so the bytes match the primary.
+        result.save(alias)
+    return target
 
 
 def render_summary(reports: "list[ExperimentReport]") -> str:

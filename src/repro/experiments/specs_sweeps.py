@@ -507,6 +507,59 @@ def default_sweep_budget(scale: "str | None" = None) -> ReplicateBudget:
     )
 
 
+def resolve_sweep_budget(
+    scale: "str | None" = None,
+    *,
+    replicates: "int | None" = None,
+    target_ci: "float | None" = None,
+    min_replicates: "int | None" = None,
+    max_replicates: "int | None" = None,
+    round_size: "int | None" = None,
+) -> ReplicateBudget:
+    """Budget resolution shared by the CLI flags and the HTTP service.
+
+    A ``replicates`` value wins outright (fixed budget, adaptive rule
+    disabled); otherwise any adaptive overrides overlay the
+    scale-matched :func:`default_sweep_budget`.
+    """
+    if replicates is not None:
+        return ReplicateBudget.fixed(replicates)
+    base = default_sweep_budget(scale)
+    overrides = {
+        key: value
+        for key, value in {
+            "target_ci": target_ci,
+            "min_replicates": min_replicates,
+            "max_replicates": max_replicates,
+            "round_size": round_size,
+        }.items()
+        if value is not None
+    }
+    if not overrides:
+        return base
+    merged = base.to_dict()
+    merged.update(overrides)
+    return ReplicateBudget.from_dict(merged)
+
+
+def axis_values_from_payload(values: Any) -> list:
+    """Validate a JSON axis override (service submissions) into values.
+
+    Accepts a non-empty list of scalars (the same literal forms the
+    grid tables use); anything else is an :class:`ExperimentError`.
+    """
+    if not isinstance(values, (list, tuple)) or not values:
+        raise ExperimentError(
+            f"axis override must be a non-empty list of values, got {values!r}"
+        )
+    for value in values:
+        if not isinstance(value, (int, float, str)) or isinstance(value, bool):
+            raise ExperimentError(
+                f"axis values must be numbers or strings, got {value!r}"
+            )
+    return list(values)
+
+
 def axis_override_from_text(text: str) -> "tuple[str, list]":
     """Parse a CLI ``--axis name=v1,v2,...`` override.
 

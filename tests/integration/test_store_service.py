@@ -1,0 +1,214 @@
+"""Integration: the sweep service and the store-backed CLI, end to end.
+
+The acceptance bar from the results-store work: submit → poll → fetch
+over real HTTP against a live backend; resubmitting an identical sweep
+is a cache hit that performs zero simulation work and serves bytes
+``cmp``-identical to the artifact a direct run writes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine.backends import shutdown_shared_backends
+from repro.engine.store import ResultsStore, canonical_result_text
+from repro.engine.service import SweepService
+from repro.experiments.cli import main
+
+SMOKE_SUBMISSION = {
+    "sweep_id": "E3",
+    "scale": "smoke",
+    "axes": {"n": [12], "algorithm": ["vanilla"]},
+    "budget": {"replicates": 2},
+    "seed": 0,
+}
+
+
+@pytest.fixture(autouse=True)
+def _release_shared_pools():
+    yield
+    shutdown_shared_backends()
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.load(response)
+
+
+def _post(url: str, payload: dict) -> "tuple[int, dict]":
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _poll_done(base: str, run_id: str, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        run = _get(f"{base}/v1/runs/{run_id}")
+        if run["status"] in ("done", "failed"):
+            return run
+        time.sleep(0.2)
+    raise AssertionError(f"run {run_id} did not settle within {timeout}s")
+
+
+def _fetch_bytes(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.read()
+
+
+class TestServiceRoundTrip:
+    def test_submit_poll_fetch_and_cached_resubmit(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        with SweepService(store, backend="serial") as service:
+            base = service.url
+
+            health = _get(f"{base}/v1/healthz")
+            assert health["status"] == "ok"
+            assert health["backend"] == "serial"
+
+            status, first = _post(f"{base}/v1/sweeps", SMOKE_SUBMISSION)
+            assert status == 202
+            assert first["cache_hit"] is False
+            run_id = first["run_id"]
+
+            settled = _poll_done(base, run_id)
+            assert settled["status"] == "done", settled.get("error")
+            assert settled["n_points"] == 1
+            assert settled["total_replicates"] == 2
+
+            body = _fetch_bytes(f"{base}/v1/runs/{run_id}/result")
+            result = store.load_result(run_id)
+            assert body.decode("utf-8") == canonical_result_text(result)
+
+            envelope = _get(f"{base}/v1/runs/{run_id}/envelope")
+            assert envelope["run"]["run_id"] == run_id
+
+            status, again = _post(f"{base}/v1/sweeps", SMOKE_SUBMISSION)
+            assert status == 200
+            assert again["cache_hit"] is True
+            assert again["run_id"] == run_id
+            assert again["status"] == "done"
+
+            listing = _get(f"{base}/v1/runs?sweep=E3")
+            assert [run["run_id"] for run in listing["runs"]] == [run_id]
+
+    def test_bad_requests_are_clean_http_errors(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        with SweepService(store, backend="serial") as service:
+            base = service.url
+            status, body = _post(f"{base}/v1/sweeps", {"sweep_id": "NOPE"})
+            assert status == 400
+            assert "NOPE" in body["error"]
+            status, body = _post(
+                f"{base}/v1/sweeps", {**SMOKE_SUBMISSION, "backend": "x"}
+            )
+            assert status == 400
+            assert "backend" in body["error"]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{base}/v1/runs/absent-000000000000")
+            assert excinfo.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{base}/v1/nope")
+            assert excinfo.value.code == 404
+
+    def test_result_of_unfinished_run_is_conflict(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        run, _ = store.begin_run("f" * 64, "E3")
+        with SweepService(store, backend="serial") as service:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{service.url}/v1/runs/{run.run_id}/result")
+            assert excinfo.value.code == 409
+
+
+@pytest.mark.slow
+class TestServiceOnClusterBackend:
+    def test_round_trip_against_a_live_worker_fleet(self, tmp_path):
+        """The service drives the cluster backend as a long-lived fleet:
+        one backend instance spans both submissions, the second of which
+        is served from the store without touching the fleet."""
+        from repro.engine.cluster import ClusterBackend
+
+        store = ResultsStore(tmp_path / "store.sqlite")
+        backend = ClusterBackend(2)
+        with SweepService(store, backend=backend) as service:
+            base = service.url
+            assert _get(f"{base}/v1/healthz")["backend"] == "cluster"
+
+            status, first = _post(f"{base}/v1/sweeps", SMOKE_SUBMISSION)
+            assert status == 202
+            settled = _poll_done(base, first["run_id"])
+            assert settled["status"] == "done", settled.get("error")
+            cluster_bytes = _fetch_bytes(
+                f"{base}/v1/runs/{first['run_id']}/result"
+            )
+
+            status, again = _post(f"{base}/v1/sweeps", SMOKE_SUBMISSION)
+            assert status == 200 and again["cache_hit"] is True
+
+        # Byte identity across backends: the cluster-computed result is
+        # cmp-identical to a serial run of the same submission.
+        serial_store = ResultsStore(tmp_path / "serial.sqlite")
+        with SweepService(serial_store, backend="serial") as service:
+            base = service.url
+            _, run = _post(f"{base}/v1/sweeps", SMOKE_SUBMISSION)
+            _poll_done(base, run["run_id"])
+            serial_bytes = _fetch_bytes(
+                f"{base}/v1/runs/{run['run_id']}/result"
+            )
+        assert cluster_bytes == serial_bytes
+
+
+class TestStoreCliSweep:
+    def test_second_cli_run_is_a_cache_hit_with_identical_artifacts(
+        self, tmp_path, capsys
+    ):
+        db = tmp_path / "store.sqlite"
+        out_first = tmp_path / "first"
+        out_second = tmp_path / "second"
+        argv = [
+            "sweep", "E3", "--scale", "smoke",
+            "--axis", "n=12", "--axis", "algorithm=vanilla",
+            "--replicates", "2", "--store", str(db),
+        ]
+        assert main(argv + ["--out", str(out_first)]) == 0
+        first = capsys.readouterr().out
+        assert "store: recorded run" in first
+
+        assert main(argv + ["--out", str(out_second)]) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        assert "zero simulation work" in second
+
+        (artifact_a,) = sorted(out_first.glob("sweep_e3_*.json"))
+        (artifact_b,) = sorted(out_second.glob("sweep_e3_*.json"))
+        assert artifact_a.name == artifact_b.name
+        assert artifact_a.read_bytes() == artifact_b.read_bytes()
+
+    def test_serve_command_smoke(self, tmp_path, capsys):
+        """--for-seconds gives the serve command a bounded smoke mode."""
+        db = tmp_path / "store.sqlite"
+        import threading
+
+        rc = []
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                main(["serve", "--store", str(db), "--port", "0",
+                      "--for-seconds", "1.5"])
+            )
+        )
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert rc == [0]

@@ -19,6 +19,12 @@ Kernel choice rides on each spec's ``kernel`` field:
 * ``"auto"`` (default) — vectorize eligible groups of at least
   :data:`AUTO_MIN_BATCH` replicates, where the batch is wide enough for
   the numpy-call overhead to amortize below the scalar loop's cost.
+
+Whether a spec *can* vectorize is the :func:`eligibility` verdict — a
+:class:`KernelEligibility` with machine-readable reason codes, public so
+sweep telemetry, the ``kernel explain`` CLI, and third-party algorithms
+(via :func:`register_update`) all share the dispatcher's answer.  Every
+scalar demotion is counted in ``stats`` under a ``demoted:<code>`` key.
 """
 
 from __future__ import annotations
@@ -34,13 +40,21 @@ from repro.engine.kernels.base import (
     normalize_kernel,
     replicate_substreams,
 )
-from repro.engine.kernels.scalar import ScalarKernel
-from repro.engine.kernels.vectorized import (
-    VectorizedBatchKernel,
-    eligible_clock_factory,
-    eligible_run_kwargs,
-    resolve_update,
+from repro.engine.kernels.eligibility import (
+    AUTO_BATCH_BELOW_MIN,
+    REASON_CODES,
+    EligibilityReason,
+    KernelDemotionWarning,
+    KernelEligibility,
+    algorithm_reason as _algorithm_reason,
+    clock_reason as _clock_reason,
+    eligibility,
+    run_kwargs_reasons as _run_kwargs_reasons,
+    register_update,
+    registered_update_types,
 )
+from repro.engine.kernels.scalar import ScalarKernel
+from repro.engine.kernels.vectorized import VectorizedBatchKernel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.engine.backends import ReplicateSpec
@@ -57,16 +71,24 @@ _SCALAR = ScalarKernel()
 _VECTORIZED = VectorizedBatchKernel()
 
 __all__ = [
+    "AUTO_BATCH_BELOW_MIN",
     "AUTO_MIN_BATCH",
     "KERNEL_CHOICES",
     "KERNEL_ENV_VAR",
+    "REASON_CODES",
+    "EligibilityReason",
+    "KernelDemotionWarning",
+    "KernelEligibility",
     "ScalarKernel",
     "SimulationKernel",
     "VectorizedBatchKernel",
     "default_kernel",
+    "eligibility",
     "execute_specs",
     "new_kernel_stats",
     "normalize_kernel",
+    "register_update",
+    "registered_update_types",
     "replicate_substreams",
 ]
 
@@ -90,6 +112,17 @@ def _group_key(spec: "ReplicateSpec") -> tuple:
     )
 
 
+def _count_demotions(
+    stats: "dict[str, int] | None", codes: "Sequence[str]", count: int = 1
+) -> None:
+    """Accumulate ``demoted:<code>`` counters (keys created on demand)."""
+    if stats is None:
+        return
+    for code in codes:
+        key = f"demoted:{code}"
+        stats[key] = stats.get(key, 0) + count
+
+
 def execute_specs(
     specs: "Sequence[ReplicateSpec]",
     *,
@@ -101,31 +134,38 @@ def execute_specs(
     :func:`~repro.engine.kernels.base.new_kernel_stats`) accumulates
     engagement counters in place, so backends can expose which path
     actually ran — the sweep scheduler surfaces them as
-    ``kernel_installs`` / ``vectorized_replicates``.
+    ``kernel_installs`` / ``vectorized_replicates``, plus one
+    ``demoted:<code>`` counter per :data:`REASON_CODES` demotion cause
+    (so an explicitly requested ``vectorized`` kernel's scalar fallbacks
+    are never silent).
     """
     specs = list(specs)
     results: "list[RunResult | None]" = [None] * len(specs)
     scalar_positions: "list[int]" = []
     groups: "dict[tuple, list[int]]" = {}
-    # Algorithm eligibility requires instantiating the factory; cache the
-    # verdict per factory object so a thousand-replicate batch probes
-    # each configuration once.
-    algorithm_eligible: "dict[int, bool]" = {}
+    # The algorithm verdict requires instantiating the factory; cache it
+    # per factory object so a thousand-replicate batch probes each
+    # configuration once.  Clock/kwargs verdicts vary per spec (a batch
+    # can mix sweep points) and are cheap, so they are checked inline.
+    algorithm_verdicts: "dict[int, EligibilityReason | None]" = {}
     for position, spec in enumerate(specs):
         mode = normalize_kernel(getattr(spec, "kernel", "auto"))
         if mode == "scalar":
             scalar_positions.append(position)
             continue
         factory_id = id(spec.algorithm_factory)
-        eligible = algorithm_eligible.get(factory_id)
-        if eligible is None:
-            eligible = resolve_update(spec.algorithm_factory()) is not None
-            algorithm_eligible[factory_id] = eligible
-        if not (
-            eligible
-            and eligible_clock_factory(spec.clock_factory)
-            and eligible_run_kwargs(spec.run_kwargs)
-        ):
+        if factory_id in algorithm_verdicts:
+            algo_reason = algorithm_verdicts[factory_id]
+        else:
+            algo_reason = _algorithm_reason(spec.algorithm_factory())
+            algorithm_verdicts[factory_id] = algo_reason
+        reasons = [] if algo_reason is None else [algo_reason]
+        clock = _clock_reason(spec.clock_factory)
+        if clock is not None:
+            reasons.append(clock)
+        reasons.extend(_run_kwargs_reasons(spec.run_kwargs))
+        if reasons:
+            _count_demotions(stats, [reason.code for reason in reasons])
             scalar_positions.append(position)
             continue
         groups.setdefault((mode, _group_key(spec)), []).append(position)
@@ -133,6 +173,7 @@ def execute_specs(
     vector_groups: "list[list[int]]" = []
     for (mode, _key), positions in groups.items():
         if mode == "auto" and len(positions) < AUTO_MIN_BATCH:
+            _count_demotions(stats, (AUTO_BATCH_BELOW_MIN,), len(positions))
             scalar_positions.extend(positions)
         else:
             vector_groups.append(positions)

@@ -94,7 +94,12 @@ def new_kernel_stats() -> "dict[str, int]":
     ``vectorized_replicates`` / ``scalar_replicates`` count how many
     replicates each path actually executed — the telemetry that lets
     reports and benchmarks verify the fast path engaged instead of
-    silently falling back to scalar.
+    silently falling back to scalar.  The dispatcher additionally
+    creates one ``demoted:<code>`` counter on demand per
+    :data:`~repro.engine.kernels.eligibility.REASON_CODES` demotion
+    cause (not pre-seeded here: a zero-demotion run keeps the dict to
+    the three canonical keys, and merge code must treat missing keys
+    as zero anyway).
     """
     return {
         "kernel_installs": 0,

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
@@ -76,6 +77,12 @@ from repro.engine.backends import (
     ExecutionBackend,
     execute_with_retry,
     resolve_backend,
+)
+from repro.engine.kernels import (
+    KernelDemotionWarning,
+    default_kernel,
+    eligibility,
+    normalize_kernel,
 )
 from repro.engine.results import RunResult
 from repro.engine.runner import MonteCarloRunner
@@ -994,6 +1001,46 @@ class SweepRunner:
         """Telemetry hook for :func:`execute_with_retry`."""
         self.stats["round_retries"] += 1
 
+    def _warn_explicit_demotions(self, states: "Sequence[_PointState]") -> None:
+        """Warn once per sweep when forced ``vectorized`` points demote.
+
+        ``auto`` demotes silently by design (it is a performance policy);
+        an **explicit** ``--kernel vectorized`` is a user assertion that
+        the fast path runs, so ineligible points get one
+        :class:`~repro.engine.kernels.KernelDemotionWarning` listing the
+        machine-readable reason codes before any replicate executes.
+        """
+        kernel = (
+            default_kernel()
+            if self.kernel is None
+            else normalize_kernel(self.kernel)
+        )
+        if kernel != "vectorized":
+            return
+        demoted = []
+        for state in states:
+            verdict = eligibility(
+                algorithm_factory=state.config.algorithm_factory,
+                clock_factory=state.config.clock_factory,
+                run_kwargs=self._run_kwargs(state.config, state.monotone),
+            )
+            if not verdict:
+                demoted.append((state.point.index, verdict))
+        if not demoted:
+            return
+        points = ", ".join(
+            f"point {index} [{', '.join(verdict.codes)}]"
+            for index, verdict in demoted
+        )
+        warnings.warn(
+            f"sweep {self.spec.name!r}: --kernel vectorized demotes "
+            f"{len(demoted)} of {len(states)} configuration(s) to the "
+            f"scalar loop: {points}; run 'kernel explain' on this sweep "
+            "for the full verdicts",
+            KernelDemotionWarning,
+            stacklevel=3,
+        )
+
     def run(self) -> SweepResult:
         """Run the sweep to completion and return its aggregation.
 
@@ -1022,6 +1069,7 @@ class SweepRunner:
             for point in points
             if point.index not in done
         ]
+        self._warn_explicit_demotions(states)
         # Resume pending points from their checkpointed sample prefix: a
         # sample is a pure function of (point, replicate index), so
         # rescheduling from n_scheduled = len(samples) reproduces the
@@ -1109,14 +1157,11 @@ class SweepRunner:
         # replicates (fast-path verification: a benchmark claiming
         # vectorized throughput must see vectorized_replicates > 0).
         kernel_after = getattr(self.backend, "kernel_stats", None) or {}
-        for key in (
-            "kernel_installs",
-            "vectorized_replicates",
-            "scalar_replicates",
-        ):
-            self.stats[key] = int(kernel_after.get(key, 0)) - int(
-                kernel_before.get(key, 0)
-            )
+        canonical = ("kernel_installs", "vectorized_replicates", "scalar_replicates")
+        for key in sorted(set(kernel_before) | set(kernel_after) | set(canonical)):
+            delta = int(kernel_after.get(key, 0)) - int(kernel_before.get(key, 0))
+            if delta or key in canonical:
+                self.stats[key] = delta
         return SweepResult(
             sweep_name=self.spec.name,
             axes={axis.name: list(axis.values) for axis in self.spec.axes},

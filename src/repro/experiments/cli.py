@@ -395,6 +395,29 @@ def build_parser() -> argparse.ArgumentParser:
         "default: serve until interrupted)",
     )
 
+    kernel = subparsers.add_parser(
+        "kernel",
+        help="inspect simulation-kernel eligibility for a sweep",
+    )
+    kernel_sub = kernel.add_subparsers(dest="kernel_command", required=True)
+    explain = kernel_sub.add_parser(
+        "explain",
+        help="print the vectorized kernel's eligibility verdict per "
+        "configuration (machine-readable reason codes for demotions)",
+    )
+    explain.add_argument(
+        "sweep_id",
+        help=f"sweep id ({', '.join(sorted(SWEEPS))})",
+    )
+    explain.add_argument("--scale", choices=SCALES, default=None)
+    explain.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="override one axis's values (repeatable), e.g. n=64,128,256",
+    )
+
     subparsers.add_parser("list", help="list available experiments")
     return parser
 
@@ -636,6 +659,54 @@ def _run_store_command(args) -> int:
     return 0
 
 
+def _run_kernel_command(args) -> int:
+    """``kernel explain``: the eligibility verdict per sweep point."""
+    from repro.engine.kernels import eligibility
+    from repro.engine.sweeps import PointConfig
+
+    spec = get_sweep(args.sweep_id, scale=args.scale)
+    for override in args.axis:
+        name, values = axis_override_from_text(override)
+        spec = spec.with_axis(name, values)
+    points = spec.expand()
+    axis_names = [axis.name for axis in spec.axes]
+    table = Table(
+        ["point", *axis_names, "verdict", "reasons"],
+        title=f"vectorized-kernel eligibility: sweep {spec.name!r} "
+        f"({len(points)} configuration(s))",
+    )
+    n_eligible = 0
+    for point in points:
+        config = spec.builder(**point.params)
+        if not isinstance(config, PointConfig):
+            raise SimulationError(
+                f"sweep {spec.name!r} builder returned "
+                f"{type(config).__name__}, expected PointConfig"
+            )
+        monotone = bool(config.algorithm_factory().monotone_variance)
+        verdict = eligibility(
+            algorithm_factory=config.algorithm_factory,
+            clock_factory=config.clock_factory,
+            run_kwargs=SweepRunner._run_kwargs(config, monotone),
+        )
+        n_eligible += bool(verdict)
+        table.add_row(
+            [
+                point.index,
+                *(point.params[name] for name in axis_names),
+                "vectorized" if verdict else "scalar",
+                "" if verdict else verdict.describe(),
+            ]
+        )
+    print(table.render())
+    print(
+        f"{n_eligible}/{len(points)} configuration(s) take the vectorized "
+        "lockstep path; the rest run the scalar event loop "
+        "(see docs/kernels.md for the eligibility rules)"
+    )
+    return 0
+
+
 def _run_serve_command(args) -> int:
     import time as _time
 
@@ -701,6 +772,15 @@ def main(argv: "list[str] | None" = None) -> int:
         # no workers attribute (pure metadata command, nothing computes).
         try:
             return _run_store_command(args)
+        except ReproError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
+    if args.command == "kernel":
+        # Also dispatched before the --workers guard: pure inspection,
+        # nothing computes and the namespace has no workers attribute.
+        try:
+            return _run_kernel_command(args)
         except ReproError as exc:
             print(exc, file=sys.stderr)
             return 2

@@ -93,6 +93,16 @@ def render_sweep_stats(result: SweepResult, stats: "dict[str, int]") -> str:
             f"{stats.get('kernel_installs', 0)} lockstep batch(es), "
             f"{stats.get('scalar_replicates', 0)} scalar"
         )
+    demotions = {
+        key[len("demoted:") :]: count
+        for key, count in stats.items()
+        if key.startswith("demoted:") and count
+    }
+    if demotions:
+        rendered = ", ".join(
+            f"{code} x{count}" for code, count in sorted(demotions.items())
+        )
+        line += f"; demotions: {rendered}"
     return line
 
 

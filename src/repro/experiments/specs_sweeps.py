@@ -19,13 +19,14 @@ runner's shared-state shipping can install each point's graph once per
 worker.
 
 The kernel layer (:mod:`repro.engine.kernels`) composes with every
-sweep declared here: arms whose algorithm is a pure pairwise-convex
-update under the default Poisson clocks (``"vanilla"`` and
-``"convex"``) are eligible for the vectorized replicate-batch kernel
-and advance a whole replicate window in numpy lockstep, while the
-``"algorithm_a"`` (non-convex, scheduled-edge) arms always take the
-scalar event loop — with bit-identical :class:`SweepResult` output
-either way, so ``--kernel`` is purely a throughput knob.
+sweep declared here: the convex arms (``"vanilla"``, ``"convex"``)
+take the dense lockstep loop and the ``"algorithm_a"`` arms take the
+epoch-aware generalized loop (per-row epoch state machine over the
+designated edge), so every sweep advances whole replicate windows in
+numpy lockstep — with bit-identical :class:`SweepResult` output
+either way, so ``--kernel`` is purely a throughput knob.  Run
+``repro-experiments kernel explain <sweep-id>`` for per-configuration
+eligibility verdicts.
 """
 
 from __future__ import annotations
@@ -111,9 +112,8 @@ def _point_config(pair: BridgedPair, algorithm: str) -> PointConfig:
     """The measurement every ported sweep point runs: T_av of one
     algorithm on one bridged pair under the cut-aligned workload.
 
-    The ``"vanilla"`` arm vectorizes (pairwise-convex update, default
-    Poisson clocks); the ``"algorithm_a"`` arm always falls back to the
-    scalar kernel (non-convex epoch-scheduled update) — see
+    Both arms vectorize: ``"vanilla"`` through the dense lockstep loop,
+    ``"algorithm_a"`` through the epoch-aware generalized loop — see
     ``docs/kernels.md``.
     """
     x0 = cut_aligned(pair.partition)

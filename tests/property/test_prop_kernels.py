@@ -38,12 +38,14 @@ values_8 = st.lists(
 )
 
 
-def kernels_agree(graph, factory, workload, seed, n_replicates, **run_kwargs):
+def kernels_agree(
+    graph, factory, workload, seed, n_replicates, clock=None, **run_kwargs
+):
     scalar = MonteCarloRunner(
-        graph, factory, workload, seed=seed, kernel="scalar"
+        graph, factory, workload, seed=seed, clock_factory=clock, kernel="scalar"
     ).run(n_replicates, **run_kwargs)
     vector = MonteCarloRunner(
-        graph, factory, workload, seed=seed, kernel="vectorized"
+        graph, factory, workload, seed=seed, clock_factory=clock, kernel="vectorized"
     ).run(n_replicates, **run_kwargs)
     assert len(scalar) == len(vector)
     for a, b in zip(scalar, vector):
@@ -120,4 +122,97 @@ class TestKernelEquivalence:
             5,
             target_ratio=target,
             max_events=5_000,
+        )
+
+
+class TestGeneralizedLoopEquivalence:
+    """The epoch-aware / wrapped-clock lockstep loop, searched randomly:
+    Algorithm A's swap schedule and the lossy/failing tick masks must
+    stay bit-identical to the scalar oracle at every drawn configuration.
+    """
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 6),
+        st.one_of(
+            st.just("exact"),
+            st.just("paper"),
+            st.floats(0.5, 8.0, allow_nan=False),
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_nonconvex_swap_schedule(self, seed, epoch_length, gain, oracle):
+        from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+        from repro.graphs.composites import dumbbell_graph
+
+        pair = dumbbell_graph(6)
+        n = pair.graph.n_vertices
+
+        def workload(rng):
+            return rng.normal(size=n)
+
+        kernels_agree(
+            pair.graph,
+            AlgorithmFactory(
+                NonConvexSparseCutGossip,
+                pair.partition,
+                epoch_length=epoch_length,
+                gain=gain,
+                oracle_means=oracle,
+            ),
+            workload,
+            seed,
+            5,
+            max_events=2_000,
+            target_ratio=1e-4,
+            thresholds=(0.5, np.e**-2),
+        )
+
+    @given(st.integers(0, 2**31 - 1), st.floats(0.0, 0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_lossy_clock_mask(self, seed, drop):
+        from repro.algorithms.vanilla import VanillaGossip
+        from repro.clocks.unreliable import LossyPoissonClockFactory
+
+        graph = complete_graph(8)
+
+        def workload(rng):
+            return rng.normal(size=8)
+
+        kernels_agree(
+            graph,
+            VanillaGossip,
+            workload,
+            seed,
+            5,
+            clock=LossyPoissonClockFactory(graph.n_edges, drop),
+            max_events=1_500,
+            target_ratio=1e-4,
+        )
+
+    @given(st.integers(0, 2**31 - 1), st.floats(0.2, 5.0))
+    @settings(max_examples=10, deadline=None)
+    def test_failing_clock_mask(self, seed, rate):
+        from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+        from repro.clocks.unreliable import FailingPoissonClockFactory
+        from repro.graphs.composites import dumbbell_graph
+
+        pair = dumbbell_graph(6)
+        n = pair.graph.n_vertices
+
+        def workload(rng):
+            return rng.normal(size=n)
+
+        kernels_agree(
+            pair.graph,
+            AlgorithmFactory(
+                NonConvexSparseCutGossip, pair.partition, epoch_length=2
+            ),
+            workload,
+            seed,
+            5,
+            clock=FailingPoissonClockFactory(pair.graph.n_edges, rate),
+            max_events=8_000,
+            target_ratio=1e-5,
         )

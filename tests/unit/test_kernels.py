@@ -26,9 +26,14 @@ import numpy as np
 import pytest
 
 from repro.algorithms.convex import ConvexGossip, RandomConvexGossip
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
 from repro.algorithms.vanilla import VanillaGossip
 from repro.clocks.poisson import PoissonClockFactory, PoissonEdgeClocks
 from repro.clocks.schedule import RoundRobinSchedule
+from repro.clocks.unreliable import (
+    FailingPoissonClockFactory,
+    LossyPoissonClockFactory,
+)
 from repro.engine.backends import (
     AlgorithmFactory,
     ProcessPoolBackend,
@@ -37,17 +42,25 @@ from repro.engine.backends import (
 from repro.engine.kernels import (
     AUTO_MIN_BATCH,
     KERNEL_ENV_VAR,
+    KernelDemotionWarning,
     ScalarKernel,
     VectorizedBatchKernel,
     default_kernel,
+    eligibility,
     execute_specs,
     new_kernel_stats,
     normalize_kernel,
+    register_update,
 )
-from repro.engine.kernels.vectorized import (
-    eligible_clock_factory,
-    eligible_run_kwargs,
+from repro.engine.kernels.eligibility import (
+    ALGORITHM_UNSUPPORTED,
+    AUTO_BATCH_BELOW_MIN,
+    CLOCK_UNSUPPORTED,
+    RECORDER_ATTACHED,
+    RUN_KWARG_UNSUPPORTED,
+    clock_reason,
     resolve_update,
+    run_kwargs_reasons,
 )
 from repro.engine.recorder import TraceRecorder
 from repro.engine.results import results_identical
@@ -60,7 +73,7 @@ from repro.engine.sweeps import (
     SweepSpec,
 )
 from repro.errors import SimulationError
-from repro.graphs.composites import dumbbell_graph
+from repro.graphs.composites import dumbbell_graph, two_expanders
 from repro.graphs.topologies import complete_graph
 
 THRESHOLDS = (np.e**-2, 0.5)
@@ -108,11 +121,25 @@ ELIGIBLE_FACTORIES = [
 ]
 
 
+def dumbbell_nonconvex_factory(pair, **kwargs):
+    defaults = dict(epoch_length=4)
+    defaults.update(kwargs)
+    return AlgorithmFactory(NonConvexSparseCutGossip, pair.partition, **defaults)
+
+
 class TestEligibility:
-    def test_convex_family_resolves(self):
+    def test_builtin_family_resolves(self, small_dumbbell):
         assert resolve_update(VanillaGossip()) is not None
         assert resolve_update(ConvexGossip(alpha=0.25)) is not None
         assert resolve_update(RandomConvexGossip(low=0.1, high=0.9)) is not None
+        assert (
+            resolve_update(
+                NonConvexSparseCutGossip(
+                    small_dumbbell.partition, epoch_length=4
+                )
+            )
+            is not None
+        )
 
     def test_subclass_never_fast_paths(self):
         """Exact-type matching: an on_tick override in a subclass would
@@ -120,17 +147,88 @@ class TestEligibility:
         assert resolve_update(SubclassedVanilla()) is None
 
     def test_clock_factory_rules(self):
-        assert eligible_clock_factory(None)
-        assert eligible_clock_factory(PoissonClockFactory(12))
-        assert not eligible_clock_factory(RoundRobinFactory(12))
+        assert clock_reason(None) is None
+        assert clock_reason(PoissonClockFactory(12)) is None
+        assert clock_reason(LossyPoissonClockFactory(12, 0.3)) is None
+        assert clock_reason(FailingPoissonClockFactory(12, 2.0)) is None
+        reason = clock_reason(RoundRobinFactory(12))
+        assert reason is not None and reason.code == CLOCK_UNSUPPORTED
 
     def test_run_kwargs_rules(self):
-        assert eligible_run_kwargs({"max_events": 100, "target_ratio": 0.1})
-        assert eligible_run_kwargs({"max_time": 5.0, "recorder": None})
-        assert not eligible_run_kwargs({"max_events": 100, "unknown": 1})
-        assert not eligible_run_kwargs(
-            {"max_events": 100, "recorder": TraceRecorder(sample_every=10)}
+        assert not run_kwargs_reasons({"max_events": 100, "target_ratio": 0.1})
+        assert not run_kwargs_reasons({"max_time": 5.0, "recorder": None})
+        codes = [r.code for r in run_kwargs_reasons({"max_events": 1, "unknown": 1})]
+        assert codes == [RUN_KWARG_UNSUPPORTED]
+        codes = [
+            r.code
+            for r in run_kwargs_reasons(
+                {"max_events": 100, "recorder": TraceRecorder(sample_every=10)}
+            )
+        ]
+        assert codes == [RECORDER_ATTACHED]
+
+    def test_eligibility_verdict_composes_reasons(self):
+        verdict = eligibility(
+            algorithm_factory=SubclassedVanilla,
+            clock_factory=RoundRobinFactory(12),
+            run_kwargs={"max_events": 100, "unknown": 1},
         )
+        assert not verdict
+        assert verdict.codes == (
+            ALGORITHM_UNSUPPORTED,
+            CLOCK_UNSUPPORTED,
+            RUN_KWARG_UNSUPPORTED,
+        )
+        assert ALGORITHM_UNSUPPORTED in verdict.describe()
+        good = eligibility(
+            algorithm_factory=VanillaGossip,
+            clock_factory=None,
+            run_kwargs={"max_events": 100},
+        )
+        assert good and good.reasons == () and good.describe() == "eligible"
+
+    def test_eligibility_accepts_a_spec(self, k6):
+        runner = runner_for(k6, VanillaGossip, GaussianWorkload(6), kernel="auto")
+        (spec,) = runner.build_specs(1, max_events=100)
+        assert eligibility(spec)
+
+    def test_register_update_extension_point(self):
+        class ThirdPartyGossip(VanillaGossip):
+            pass
+
+        assert resolve_update(ThirdPartyGossip()) is None
+        sentinel = object()
+        try:
+
+            @register_update(ThirdPartyGossip)
+            def _build(algorithm):
+                return sentinel
+
+            assert resolve_update(ThirdPartyGossip()) is sentinel
+            assert eligibility(
+                algorithm_factory=ThirdPartyGossip,
+                clock_factory=None,
+                run_kwargs={},
+            )
+        finally:
+            from repro.engine.kernels.eligibility import _UPDATE_BUILDERS
+
+            _UPDATE_BUILDERS.pop(ThirdPartyGossip, None)
+        assert resolve_update(ThirdPartyGossip()) is None
+
+    def test_register_update_rejects_non_types(self):
+        with pytest.raises(TypeError, match="algorithm type"):
+            register_update(VanillaGossip())
+
+    def test_deprecated_helpers_warn_and_delegate(self):
+        from repro.engine.kernels import vectorized
+
+        with pytest.warns(DeprecationWarning, match="resolve_update"):
+            assert vectorized.resolve_update(VanillaGossip()) is not None
+        with pytest.warns(DeprecationWarning, match="eligible_clock_factory"):
+            assert vectorized.eligible_clock_factory(None)
+        with pytest.warns(DeprecationWarning, match="eligible_run_kwargs"):
+            assert not vectorized.eligible_run_kwargs({"unknown": 1})
 
     def test_supports_composes_the_rules(self, k6):
         kernel = VectorizedBatchKernel()
@@ -268,6 +366,136 @@ class TestBitIdentity:
             runner.run(AUTO_MIN_BATCH, max_time=-1.0)
 
 
+class TestNonConvexLockstep:
+    """Algorithm A through the generalized lockstep loop, field-for-field
+    identical to the scalar oracle across every semantic variant."""
+
+    def cmp(self, graph, factory, clock=None, n=10, **kwargs):
+        workload = GaussianWorkload(graph.n_vertices)
+        scalar = MonteCarloRunner(
+            graph, factory, workload, seed=42,
+            clock_factory=clock, kernel="scalar",
+        ).run(n, **kwargs)
+        vector_runner = MonteCarloRunner(
+            graph, factory, workload, seed=42,
+            clock_factory=clock, kernel="vectorized",
+        )
+        before = dict(vector_runner.backend.kernel_stats)
+        vector = vector_runner.run(n, **kwargs)
+        after = vector_runner.backend.kernel_stats
+        engaged = after["vectorized_replicates"] - before.get(
+            "vectorized_replicates", 0
+        )
+        assert engaged == n, "the lockstep path must actually run"
+        assert identical_lists(scalar, vector)
+        return vector
+
+    @pytest.mark.parametrize("gain", ["exact", "paper", 2.5])
+    def test_gain_conventions(self, gain, small_dumbbell):
+        self.cmp(
+            small_dumbbell.graph,
+            dumbbell_nonconvex_factory(small_dumbbell, gain=gain),
+            max_events=12_000,
+            target_ratio=1e-4,
+            thresholds=THRESHOLDS,
+        )
+
+    @pytest.mark.parametrize("epoch_length", [1, 2, 7])
+    def test_epoch_lengths(self, epoch_length, small_dumbbell):
+        self.cmp(
+            small_dumbbell.graph,
+            dumbbell_nonconvex_factory(
+                small_dumbbell, epoch_length=epoch_length
+            ),
+            max_events=12_000,
+            target_ratio=1e-4,
+        )
+
+    def test_oracle_means(self, small_dumbbell):
+        self.cmp(
+            small_dumbbell.graph,
+            dumbbell_nonconvex_factory(small_dumbbell, oracle_means=True),
+            max_events=12_000,
+            target_ratio=1e-4,
+            thresholds=THRESHOLDS,
+        )
+
+    def test_balanced_partition_oscillation(self, small_expander_pair):
+        """``n1 = n2`` with the paper gain: the imbalance oscillates
+        forever, so replicates run into the divergence/event guards —
+        the stop machinery must agree bit-for-bit too."""
+        results = self.cmp(
+            small_expander_pair.graph,
+            dumbbell_nonconvex_factory(
+                small_expander_pair, epoch_length=2, gain="paper"
+            ),
+            max_events=20_000,
+            target_ratio=1e-6,
+        )
+        assert all(r.stopped_by in ("diverged", "max_events") for r in results)
+
+    def test_max_time_and_max_events_stops(self, small_dumbbell):
+        factory = dumbbell_nonconvex_factory(small_dumbbell)
+        self.cmp(
+            small_dumbbell.graph, factory, max_time=2.0, max_events=500_000
+        )
+        self.cmp(small_dumbbell.graph, factory, max_events=3_000)
+
+    def test_lossy_clock_mask(self, small_dumbbell):
+        graph = small_dumbbell.graph
+        self.cmp(
+            graph,
+            dumbbell_nonconvex_factory(small_dumbbell),
+            clock=LossyPoissonClockFactory(graph.n_edges, 0.3),
+            max_events=10_000,
+            target_ratio=1e-4,
+            thresholds=THRESHOLDS,
+        )
+
+    def test_failing_clock_mask_exhausts(self, small_dumbbell):
+        """Edges dying early enough starve the clock: the lockstep loop
+        must report the scalar loop's ``clock_exhausted`` exit."""
+        graph = small_dumbbell.graph
+        results = self.cmp(
+            graph,
+            dumbbell_nonconvex_factory(small_dumbbell),
+            clock=FailingPoissonClockFactory(graph.n_edges, 3.0),
+            max_events=50_000,
+            target_ratio=1e-6,
+        )
+        assert any(r.stopped_by == "clock_exhausted" for r in results)
+
+    def test_lossy_convex_families(self, k6):
+        """The wrapped clocks also lift the dense-family algorithms into
+        the generalized loop — same bit-identity contract."""
+        lossy = LossyPoissonClockFactory(k6.n_edges, 0.25)
+        self.cmp(
+            k6,
+            AlgorithmFactory(RandomConvexGossip, low=0.2, high=0.8),
+            clock=lossy,
+            max_events=6_000,
+            target_ratio=1e-4,
+        )
+
+    def test_single_replicate_forced_vectorized(self, small_dumbbell):
+        self.cmp(
+            small_dumbbell.graph,
+            dumbbell_nonconvex_factory(small_dumbbell),
+            n=1,
+            max_events=4_000,
+        )
+
+    def test_swap_counts_match_scalar_semantics(self, small_dumbbell):
+        """The designated edge's epoch bookkeeping (every L-th tick)
+        shows up in n_updates: silenced cut ticks never count."""
+        results = self.cmp(
+            small_dumbbell.graph,
+            dumbbell_nonconvex_factory(small_dumbbell, epoch_length=4),
+            max_events=3_000,
+        )
+        assert all(r.n_updates < r.n_events for r in results)
+
+
 class TestFallback:
     """Ineligible specs run scalar — and still produce correct results."""
 
@@ -275,7 +503,10 @@ class TestFallback:
         stats = runner.backend.kernel_stats
         before = dict(stats)
         results = runner.run(n, **kwargs)
-        return results, {k: stats[k] - before[k] for k in stats}
+        return results, {
+            k: stats.get(k, 0) - before.get(k, 0)
+            for k in set(stats) | set(before)
+        }
 
     def test_recorder_falls_back(self, k6):
         runner = runner_for(k6, VanillaGossip, GaussianWorkload(6), kernel="vectorized")
@@ -287,6 +518,7 @@ class TestFallback:
         )
         assert delta["scalar_replicates"] == 4
         assert delta["vectorized_replicates"] == 0
+        assert delta[f"demoted:{RECORDER_ATTACHED}"] == 4
 
     def test_subclassed_algorithm_falls_back(self, k6):
         runner = MonteCarloRunner(
@@ -299,6 +531,7 @@ class TestFallback:
         results, delta = self.kernel_delta(runner, 4, max_events=500)
         assert delta["scalar_replicates"] == 4
         assert delta["vectorized_replicates"] == 0
+        assert delta[f"demoted:{ALGORITHM_UNSUPPORTED}"] == 4
         reference = MonteCarloRunner(
             k6, VanillaGossip, GaussianWorkload(6), seed=42, kernel="scalar"
         ).run(4, max_events=500)
@@ -318,12 +551,14 @@ class TestFallback:
         _, delta = self.kernel_delta(runner, 4, max_events=100)
         assert delta["scalar_replicates"] == 4
         assert delta["vectorized_replicates"] == 0
+        assert delta[f"demoted:{CLOCK_UNSUPPORTED}"] == 4
 
     def test_auto_demotes_small_batches(self, k6):
         runner = runner_for(k6, VanillaGossip, GaussianWorkload(6), kernel="auto")
         _, delta = self.kernel_delta(runner, AUTO_MIN_BATCH - 1, max_events=500)
         assert delta["scalar_replicates"] == AUTO_MIN_BATCH - 1
         assert delta["vectorized_replicates"] == 0
+        assert delta[f"demoted:{AUTO_BATCH_BELOW_MIN}"] == AUTO_MIN_BATCH - 1
         _, delta = self.kernel_delta(runner, AUTO_MIN_BATCH, max_events=500)
         assert delta["vectorized_replicates"] == AUTO_MIN_BATCH
         assert delta["kernel_installs"] == 1
@@ -438,6 +673,101 @@ class TestSweepIdentity:
         scalar.run()
         assert scalar.stats["vectorized_replicates"] == 0
         assert scalar.stats["scalar_replicates"] == 12
+
+
+def build_ineligible_point(*, n: int) -> PointConfig:
+    return PointConfig(
+        graph=complete_graph(int(n)),
+        algorithm_factory=SubclassedVanilla,
+        initial_values=GaussianWorkload(int(n)),
+        max_time=20.0,
+        max_events=20_000,
+    )
+
+
+def ineligible_sweep_spec() -> SweepSpec:
+    return SweepSpec(
+        name="ineligible-matrix",
+        axes=(SweepAxis("n", (5, 6)),),
+        builder=build_ineligible_point,
+    )
+
+
+class TestDemotionWarnings:
+    BUDGET = ReplicateBudget.fixed(3)
+
+    def test_explicit_vectorized_warns_once_with_codes(self):
+        runner = SweepRunner(
+            ineligible_sweep_spec(),
+            seed=7,
+            budget=self.BUDGET,
+            kernel="vectorized",
+        )
+        with pytest.warns(KernelDemotionWarning) as captured:
+            runner.run()
+        demotions = [
+            w for w in captured if issubclass(w.category, KernelDemotionWarning)
+        ]
+        assert len(demotions) == 1
+        message = str(demotions[0].message)
+        assert ALGORITHM_UNSUPPORTED in message
+        assert "point 0" in message and "point 1" in message
+        assert runner.stats[f"demoted:{ALGORITHM_UNSUPPORTED}"] == 6
+        assert runner.stats["scalar_replicates"] == 6
+        assert runner.stats["vectorized_replicates"] == 0
+
+    @pytest.mark.parametrize("kernel", ["auto", "scalar", None])
+    def test_non_explicit_modes_demote_silently(self, kernel, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", KernelDemotionWarning)
+            SweepRunner(
+                ineligible_sweep_spec(),
+                seed=7,
+                budget=self.BUDGET,
+                kernel=kernel,
+            ).run()
+
+    def test_explicit_vectorized_all_eligible_is_quiet(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", KernelDemotionWarning)
+            SweepRunner(
+                kernel_sweep_spec(),
+                seed=7,
+                budget=self.BUDGET,
+                kernel="vectorized",
+            ).run()
+
+
+class TestKernelExplainCli:
+    def test_explain_renders_verdicts(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["kernel", "explain", "E3", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "eligibility" in out
+        assert "algorithm_a" in out
+        assert "vectorized" in out
+
+    def test_explain_unknown_sweep_fails_cleanly(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["kernel", "explain", "E99"]) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_explain_respects_axis_override(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            ["kernel", "explain", "E2", "--scale", "smoke", "--axis", "n=24"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 configuration(s)" in out
 
 
 def test_e3_smoke_sweep_identical_across_kernels():

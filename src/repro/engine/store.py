@@ -534,6 +534,35 @@ class ResultsStore:
             ).fetchall()
         return [self._row_to_run(row) for row in rows]
 
+    def results_for_sweep(
+        self, sweep_name: str
+    ) -> "list[tuple[StoredRun, SweepResult]]":
+        """Done runs of one sweep, newest first, with parsed results.
+
+        The typed read path report/claims consumers use: each pair is
+        the provenance row plus its :class:`SweepResult`, so callers
+        never touch raw JSON text or run-id plumbing.
+        """
+        return [
+            (run, self.load_result(run.run_id))
+            for run in self.runs(sweep_name=sweep_name, status="done")
+        ]
+
+    def latest_result(self, sweep_name: str) -> "tuple[StoredRun, SweepResult]":
+        """The newest done run of one sweep, with its parsed result.
+
+        :class:`StoreError` with a seeding hint when the sweep has no
+        completed runs in this store.
+        """
+        runs = self.runs(sweep_name=sweep_name, status="done")
+        if not runs:
+            raise StoreError(
+                f"no completed runs of sweep {sweep_name!r} in store "
+                f"{self.path}; seed it with: repro-experiments sweep "
+                f"{sweep_name} --store {self.path}"
+            )
+        return runs[0], self.load_result(runs[0].run_id)
+
     # -- maintenance ---------------------------------------------------
 
     def gc(

@@ -95,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--out", default=None, help="directory for artifacts")
     run.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="resolve the report's sweeps through the persistent results "
+        f"store (default: ${STORE_ENV_VAR} when set): stored rows are "
+        "reused byte-identically, misses compute and record",
+    )
+    run.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -418,6 +426,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="override one axis's values (repeatable), e.g. n=64,128,256",
     )
 
+    verify = subparsers.add_parser(
+        "verify-claims",
+        help="recompute the paper's machine-checkable claims from stored "
+        "sweep data and exit nonzero on drift",
+    )
+    verify.add_argument(
+        "--claims",
+        default=None,
+        metavar="ID,ID,...",
+        help="verify only these claim ids (default: the whole catalogue)",
+    )
+    verify.add_argument("--scale", choices=SCALES, default=None)
+    verify.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="resolve claim sweeps through the persistent results store "
+        f"(default: ${STORE_ENV_VAR} when set)",
+    )
+    verify.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="also look for sweep_<id>*.json artifacts in DIR (identity-"
+        "checked by fingerprint before use)",
+    )
+    verify.add_argument(
+        "--no-compute",
+        action="store_true",
+        help="never simulate: fail with a seeding hint if a claim's sweep "
+        "is in neither the store nor the artifact directory (this is "
+        "how CI proves the gate is data-driven)",
+    )
+    verify.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write claims.json + claims.txt (and the resolved sweep "
+        "artifacts) to DIR",
+    )
+    verify.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for any sweep that must be computed",
+    )
+    verify.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help="simulation kernel for any sweep that must be computed",
+    )
+
     subparsers.add_parser("list", help="list available experiments")
     return parser
 
@@ -551,6 +613,67 @@ def _run_sweep_command(args) -> int:
     if exhausted:
         print(f"warning: {exhausted} configuration(s) hit the replicate cap")
     return 0
+
+
+def _run_verify_claims_command(args) -> int:
+    """``verify-claims``: the data-driven drift gate.
+
+    Resolves every sweep the selected claims need through one
+    :class:`~repro.reports.data.SweepSource` (store, then artifacts,
+    then — unless ``--no-compute`` — a fresh run), re-evaluates the
+    claim catalogue against the resolved rows, and exits 1 if any claim
+    drifted out of its declared tolerance.
+    """
+    from pathlib import Path
+
+    from repro.experiments.harness import resolve_scale
+    from repro.reports import (
+        claims_bundle,
+        evaluate_claims,
+        get_claims,
+        required_sweeps,
+        verdict_table,
+    )
+    from repro.reports.data import SweepSource
+    from repro.util.serialization import to_json_file
+
+    ids = None
+    if args.claims:
+        ids = [token.strip() for token in args.claims.split(",") if token.strip()]
+    claims = get_claims(ids)
+    scale = resolve_scale(args.scale)
+    store = (
+        ResultsStore(_store_db_path(args.store))
+        if (args.store or os.environ.get(STORE_ENV_VAR))
+        else None
+    )
+    source = SweepSource(
+        store=store,
+        artifact_dir=args.artifacts,
+        compute=not args.no_compute,
+        n_workers=args.workers,
+        kernel=args.kernel,
+    )
+    results = {}
+    with scoped_shared_backends():
+        for name, seed in sorted(required_sweeps(claims).items()):
+            results[name] = source.resolve(name, scale=scale, seed=seed)
+    verdicts = evaluate_claims(claims, results)
+    table = verdict_table(claims, verdicts)
+    print(table.render())
+    print()
+    n_pass = sum(1 for v in verdicts if v.passed)
+    print(f"claims: {n_pass}/{len(verdicts)} passed at scale {scale!r}")
+    bundle = claims_bundle(claims, verdicts, scale=scale)
+    if args.out:
+        base = Path(args.out)
+        base.mkdir(parents=True, exist_ok=True)
+        to_json_file(bundle, base / "claims.json")
+        (base / "claims.txt").write_text(table.render() + "\n", encoding="utf-8")
+        for result in results.values():
+            save_sweep_result(result, base)
+        print(f"saved claims bundle to {base}")
+    return 0 if bundle["passed"] else 1
 
 
 def _run_worker_command(args) -> int:
@@ -796,6 +919,13 @@ def main(argv: "list[str] | None" = None) -> int:
             print(exc, file=sys.stderr)
             return 2
 
+    if args.command == "verify-claims":
+        try:
+            return _run_verify_claims_command(args)
+        except ReproError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
     if args.command == "sweep":
         try:
             return _run_sweep_command(args)
@@ -835,11 +965,26 @@ def main(argv: "list[str] | None" = None) -> int:
     try:
         # Leave no trace in long-lived hosts: pools this run creates are
         # released on exit, pools the host already had warm are kept.
+        run_store = (
+            ResultsStore(_store_db_path(args.store))
+            if (args.store or os.environ.get(STORE_ENV_VAR))
+            else None
+        )
+        source = None
+        if run_store is not None:
+            from repro.reports.data import SweepSource
+
+            source = SweepSource(
+                store=run_store, n_workers=args.workers, kernel=args.kernel
+            )
         with scoped_shared_backends():
             reports = []
             for experiment_id in ids:
                 report = run_experiment(
-                    experiment_id, scale=args.scale, seed=args.seed
+                    experiment_id,
+                    scale=args.scale,
+                    seed=args.seed,
+                    source=source,
                 )
                 reports.append(report)
                 print(report.render())

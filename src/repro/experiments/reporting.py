@@ -51,7 +51,12 @@ def render_sweep_table(result: SweepResult) -> Table:
     )
     for point in result.points:
         flags = "budget_exhausted" if point.budget_exhausted else ""
-        estimate = "censored" if math.isinf(point.estimate) else point.estimate
+        if math.isinf(point.estimate):
+            estimate: "str | float" = "censored"
+        elif math.isnan(point.estimate):
+            estimate = "diverged"
+        else:
+            estimate = point.estimate
         table.add_row(
             [point.params[name] for name in axis_names]
             + [
@@ -135,14 +140,25 @@ def save_sweep_result(
     name = result.sweep_name.lower()
     target = result.save(base / f"sweep_{name}_{fingerprint[:12]}.json")
     alias = base / f"sweep_{name}.json"
+    # The alias must never be observed missing or half-written: build the
+    # replacement under a tmp name and os.replace() it into place (the
+    # same atomic protocol as repro.util.serialization.to_json_file).  A
+    # reader racing this sees either the previous alias or the new one.
+    tmp = base / f".{alias.name}.{os.getpid()}.tmp"
     try:
-        if alias.is_symlink() or alias.exists():
-            alias.unlink()
-        os.symlink(target.name, alias)
-    except OSError:
-        # Platforms without symlink support get a plain copy — the
-        # writer is deterministic, so the bytes match the primary.
-        result.save(alias)
+        try:
+            os.symlink(target.name, tmp)
+        except OSError:
+            # Platforms without symlink support get a plain copy — the
+            # writer is deterministic (atomic tmp+fsync+rename inside),
+            # so the bytes match the primary.
+            result.save(tmp)
+        os.replace(tmp, alias)
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
     return target
 
 

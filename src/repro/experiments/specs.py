@@ -1,57 +1,44 @@
-"""Experiment registry: E1-E10 by id.
+"""Experiment registry: E1-E14 by id.
 
-Each entry maps to a function ``(scale, seed) -> ExperimentReport``.
-``run_experiment`` is the single entry point used by the CLI, the
-integration tests (scale="smoke") and the benchmark suite
-(scale="default").
+Each entry maps to a function ``(scale, seed, source) ->
+ExperimentReport`` built from the declarative report catalogue in
+:mod:`repro.reports.registry`.  ``run_experiment`` is the single entry
+point used by the CLI, the integration tests (scale="smoke") and the
+benchmark suite (scale="default").
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ExperimentError
 from repro.experiments.harness import ExperimentReport
-from repro.experiments.specs_analysis import (
-    e6_stochastic_dominance,
-    e7_epoch_contraction,
-)
-from repro.experiments.specs_baselines import (
-    e10_epoch_constant,
-    e8_baselines,
-    e9_topologies,
-)
-from repro.experiments.specs_extensions import (
-    e11_geographic_gossip,
-    e12_multi_cut,
-    e13_failure_injection,
-    e14_rate_boost,
-)
-from repro.experiments.specs_scaling import (
-    e1_convex_lower_bound,
-    e2_nonconvex_upper_bound,
-    e3_dumbbell_headline,
-    e4_cut_width,
-    e5_balance_gain_ablation,
-)
+from repro.reports.model import ReportSpec, build_report
+from repro.reports.registry import REPORT_SPECS
+
+if TYPE_CHECKING:
+    from repro.reports.data import SweepSource
+
+
+def _runner(spec: ReportSpec) -> "Callable[..., ExperimentReport]":
+    def run(
+        scale: "str | None" = None,
+        seed: "int | None" = None,
+        source: "SweepSource | None" = None,
+    ) -> ExperimentReport:
+        return build_report(spec, scale=scale, seed=seed, source=source)
+
+    run.__name__ = f"run_{spec.experiment_id.lower()}"
+    run.__qualname__ = run.__name__
+    run.__doc__ = spec.summary
+    return run
+
 
 #: All registered experiments, in paper-claim order (E1-E10 reproduce the
 #: paper's claims; E11-E14 are the documented extensions).
 EXPERIMENTS: "dict[str, Callable[..., ExperimentReport]]" = {
-    "E1": e1_convex_lower_bound,
-    "E2": e2_nonconvex_upper_bound,
-    "E3": e3_dumbbell_headline,
-    "E4": e4_cut_width,
-    "E5": e5_balance_gain_ablation,
-    "E6": e6_stochastic_dominance,
-    "E7": e7_epoch_contraction,
-    "E8": e8_baselines,
-    "E9": e9_topologies,
-    "E10": e10_epoch_constant,
-    "E11": e11_geographic_gossip,
-    "E12": e12_multi_cut,
-    "E13": e13_failure_injection,
-    "E14": e14_rate_boost,
+    experiment_id: _runner(spec)
+    for experiment_id, spec in REPORT_SPECS.items()
 }
 
 
@@ -67,11 +54,17 @@ def get_experiment(experiment_id: str) -> "Callable[..., ExperimentReport]":
 
 
 def run_experiment(
-    experiment_id: str, *, scale: "str | None" = None, seed: "int | None" = None
+    experiment_id: str,
+    *,
+    scale: "str | None" = None,
+    seed: "int | None" = None,
+    source: "SweepSource | None" = None,
 ) -> ExperimentReport:
     """Run one experiment and return its report."""
     function = get_experiment(experiment_id)
     kwargs: dict = {"scale": scale}
     if seed is not None:
         kwargs["seed"] = seed
+    if source is not None:
+        kwargs["source"] = source
     return function(**kwargs)

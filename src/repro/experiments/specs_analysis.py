@@ -1,6 +1,6 @@
-"""Experiments E6-E7: the proof machinery, measured.
+"""E6-E7 measurement providers: the proof machinery, measured.
 
-E6 reproduces the stochastic-dominance argument (the per-epoch
+E6 measures the stochastic-dominance argument (the per-epoch
 log-variance walk, its dominating biased walk, Theorem 3's tail, the
 constant settling time); E7 the per-epoch potential inequalities (4)-(8).
 
@@ -14,15 +14,18 @@ paper's inequality (8): the variance of the *actual state* contracts by
 never an adversarial unit vector — it is itself a post-swap state whose
 spike the next epoch mixes away.  E6 therefore measures the trajectory
 increments ``D_k = log(var X(T_{k+1}^+) / var X(T_k^+))`` and couples
-*those* with the dominating walk; the operator norms are reported too,
-with Eq. 12 (``||A_k|| <= n``) checked and the Lemma-1 gap documented.
+*those* with the dominating walk; the operator norms are measured too.
+
+These functions are *providers* for the declarative report pipeline in
+:mod:`repro.reports`: they run the measurements and return plain data —
+every table, figure, finding and shape check is assembled there, never
+here, so E6/E7 report values flow through the same audited path as the
+sweep-backed experiments.
 """
 
 from __future__ import annotations
 
 import math
-
-import numpy as np
 
 from repro.analysis.dominance import (
     couple_with_dominating_walk,
@@ -39,12 +42,17 @@ from repro.analysis.random_walk import (
     theorem3_tail_bound,
 )
 from repro.core.epochs import epoch_length_ticks
-from repro.experiments.harness import ExperimentReport, pick, resolve_scale
+from repro.experiments.harness import pick, resolve_scale
 from repro.experiments.workloads import bimodal_noise
 from repro.graphs.composites import dumbbell_graph
-from repro.util.ascii_plot import line_plot
 from repro.util.mathx import safe_log
-from repro.util.tables import Table
+
+#: The simple-walk size Theorem 3's tail is sampled at (E6d).
+E6_TAIL_WALK_N = 400
+#: The tail quantiles sampled against the Hoeffding envelope (E6d).
+E6_TAIL_POINTS = (0.5, 1.0, 1.5, 2.0)
+#: The walk sizes whose settling time must stay bounded (E6e).
+E6_SETTLE_SIZES = (16, 64, 256, 1024)
 
 
 def _trajectory_increments(
@@ -70,15 +78,8 @@ def _trajectory_increments(
     return transient, steady
 
 
-# ----------------------------------------------------------------------
-# E6 — stochastic dominance and the dominating walk
-# ----------------------------------------------------------------------
-
-
-def e6_stochastic_dominance(
-    scale: "str | None" = None, seed: int = 23
-) -> ExperimentReport:
-    """Trajectory log-variance walk vs the paper's dominating walk."""
+def e6_measurements(scale: "str | None" = None, seed: int = 23) -> dict:
+    """Measure the dominance machinery on one dumbbell (raw data only)."""
     scale = resolve_scale(scale)
     n = pick(scale, smoke=16, default=32, full=64)
     replicates = pick(scale, smoke=16, default=60, full=150)
@@ -87,198 +88,71 @@ def e6_stochastic_dominance(
 
     pair = dumbbell_graph(n)
     epoch = epoch_length_ticks(pair.partition, constant=3.0)
-    log_n = math.log(n)
-
-    report = ExperimentReport(
-        experiment_id="E6",
-        title="Stochastic dominance: log-variance epochs vs the dominating walk",
-        paper_claim=(
-            "Per epoch, log var X(T_k^+) moves by at most ~log n upward "
-            "and by at least (3/2) log n downward with probability >= 1/2 "
-            "(ineq. 8 / Lemma 1 / Eq. 12), so it is dominated pathwise by "
-            "the walk with steps +log n / -(3/2) log n; that walk settles "
-            "below -2 in O(1) epochs independent of n (via Theorem 3)."
-        ),
-    )
 
     transient, steady = _trajectory_increments(
         pair, epoch_length=epoch, replicates=replicates, seed=seed
     )
-    increments_table = Table(
-        ["quantity", "measured", "paper requirement"],
-        title=f"E6a: per-epoch log-variance increments "
-        f"(dumbbell n={n}, L={epoch}, {replicates} replicates)",
-    )
-    max_transient = max(transient)
-    max_steady = max(steady)
-    frac_above = float(np.mean([d >= -1.5 * log_n for d in steady]))
-    increments_table.add_row(
-        ["max transient D_1", max_transient, f"<= 2 ln n = {2 * log_n:.2f}"]
-    )
-    increments_table.add_row(
-        ["max steady D_2", max_steady, f"<= ln n = {log_n:.2f}"]
-    )
-    increments_table.add_row(
-        ["P[D_2 >= -(3/2) ln n]", frac_above, "<= 1/2 (ineq. 8 analog)"]
-    )
-    increments_table.add_row(
-        ["median steady D_2", float(np.median(steady)),
-         f"<< -(3/2) ln n = {-1.5 * log_n:.2f}"]
-    )
-    report.tables.append(increments_table)
-
     walk, dominating = couple_with_dominating_walk(steady, n, seed=seed)
     violations = dominance_violations(walk, dominating)
-    report.figures.append(
-        line_plot(
-            {
-                "W_k (steady log-var walk)": (
-                    list(range(len(walk))),
-                    walk.tolist(),
-                ),
-                "W~_k (dominating)": (
-                    list(range(len(dominating))),
-                    dominating.tolist(),
-                ),
-            },
-            title="E6b: coupled walks - W_k must stay below W~_k",
-        )
-    )
 
-    # Operator-norm view: Eq. 12 holds; Lemma 1 (worst-case reading) does
-    # not — the documented fidelity note F5.
     samples = sample_epoch_operators(
         pair.partition, epoch_length=epoch, n_epochs=n_operator_epochs,
         seed=seed + 7,
     )
-    max_norm = max(s.norm for s in samples)
-    lemma1_worst_case = lemma1_empirical_probability(samples)
-    ops_table = Table(
-        ["quantity", "measured", "status"],
-        title=f"E6c: epoch operator norms ({n_operator_epochs} epochs) - "
-        "fidelity note F5",
-    )
-    ops_table.add_row(["max ||A_k||", max_norm, f"Eq. 12 requires <= n = {n}"])
-    ops_table.add_row(
-        ["P[||A_k||^2 >= n^-3] (worst-case reading)", lemma1_worst_case,
-         "Lemma 1 claims <= 1/2; FALSE as operator statement "
-         "(post-swap spike direction) - trajectory version in E6a holds"]
-    )
-    report.tables.append(ops_table)
 
-    tail_table = Table(
-        ["s", "P[S_n >= s sqrt(n)] (MC)", "Hoeffding exp(-s^2/2)"],
-        title="E6d: Theorem-3 sub-Gaussian tail of the simple walk (n=400)",
-    )
-    tails_ok = True
-    for s in (0.5, 1.0, 1.5, 2.0):
-        mc = tail_probability_estimate(400, s, n_paths=walk_paths, seed=seed + 1)
-        bound = theorem3_tail_bound(s, c=1.0, beta=0.5)
-        slack = 2.0 * math.sqrt(bound * (1 - bound) / walk_paths + 1e-12)
-        tails_ok = tails_ok and mc <= bound + slack + 0.02
-        tail_table.add_row([s, mc, bound])
-    report.tables.append(tail_table)
-
-    settle_table = Table(
-        ["n", "settling time t0 (epochs)"],
-        title="E6e: dominating-walk settling time below -2 "
-        "(bounded across n = Theorem 2's epoch count)",
-    )
-    settle_values = []
-    for walk_n in (16, 64, 256, 1024):
-        t0 = settling_time_estimate(walk_n, n_paths=walk_paths, seed=seed + walk_n)
-        settle_values.append(t0)
-        settle_table.add_row([walk_n, t0])
-    report.tables.append(settle_table)
-
-    report.findings["max_steady_increment"] = max_steady
-    report.findings["steady_fraction_above_-1.5logn"] = frac_above
-    report.findings["coupling_violations"] = violations
-    report.findings["lemma1_worst_case_probability"] = lemma1_worst_case
-    report.add_check(
-        "steady increments bounded by +ln n (Eq.-12 trajectory analog)",
-        max_steady <= log_n + 1e-9,
-        f"max D_2 = {max_steady:.2f} vs ln n = {log_n:.2f}",
-    )
-    report.add_check(
-        "steady increments below -(3/2) ln n at least half the time",
-        frac_above <= 0.5,
-        f"measured fraction above: {frac_above:.3f}",
-    )
-    report.add_check(
-        "pathwise coupling: W_k <= W~_k throughout",
-        violations == 0,
-        f"{violations} violations over {len(walk)} steps",
-    )
-    report.add_check(
-        "Eq. 12: every ||A_k|| <= n",
-        max_norm <= n + 1e-9,
-        f"max {max_norm:.3g} vs n = {n}",
-    )
-    report.add_check(
-        "Theorem-3 tails within the sub-Gaussian envelope",
-        tails_ok,
-        "empirical tails below exp(-s^2/2) + MC slack",
-    )
-    report.add_check(
-        "dominating-walk settling time is bounded and does not grow with n",
-        max(settle_values) <= 48.0
-        and settle_values[-1] <= settle_values[0] + 4.0,
-        f"t0 across n: {[round(v, 1) for v in settle_values]}",
-    )
-    return report
+    tails = [
+        {
+            "s": s,
+            "mc": tail_probability_estimate(
+                E6_TAIL_WALK_N, s, n_paths=walk_paths, seed=seed + 1
+            ),
+            "bound": theorem3_tail_bound(s, c=1.0, beta=0.5),
+        }
+        for s in E6_TAIL_POINTS
+    ]
+    settle = [
+        {
+            "n": walk_n,
+            "t0": settling_time_estimate(
+                walk_n, n_paths=walk_paths, seed=seed + walk_n
+            ),
+        }
+        for walk_n in E6_SETTLE_SIZES
+    ]
+    return {
+        "n": n,
+        "epoch": epoch,
+        "log_n": math.log(n),
+        "replicates": replicates,
+        "n_operator_epochs": n_operator_epochs,
+        "walk_paths": walk_paths,
+        "transient": transient,
+        "steady": steady,
+        "walk": walk.tolist(),
+        "dominating": dominating.tolist(),
+        "violations": int(violations),
+        "max_norm": max(s.norm for s in samples),
+        "lemma1_worst_case": lemma1_empirical_probability(samples),
+        "tails": tails,
+        "settle": settle,
+    }
 
 
-# ----------------------------------------------------------------------
-# E7 — within-epoch potential contraction (inequalities 4-8)
-# ----------------------------------------------------------------------
-
-
-def e7_epoch_contraction(
-    scale: "str | None" = None, seed: int = 29
-) -> ExperimentReport:
-    """Measure sigma/mu/variance across epochs of Algorithm A.
-
-    Epoch 1 (from an arbitrary start) shows the documented *transient*:
-    the swap deliberately skews values, so variance may grow before the
-    next epoch's mixing crushes it (the paper's "skew the values held by
-    nodes in the short term").  The steady-state contraction claims
-    (ineq. 4, 7, 8) are measured on epoch 2.
-    """
+def e7_measurements(scale: "str | None" = None, seed: int = 29) -> dict:
+    """Measure per-epoch contraction statistics across dumbbell sizes."""
     scale = resolve_scale(scale)
     sizes = pick(scale, smoke=[16], default=[16, 32, 64], full=[16, 32, 64, 128])
     replicates = pick(scale, smoke=4, default=10, full=20)
 
-    report = ExperimentReport(
-        experiment_id="E7",
-        title="Within-epoch contraction of sigma and variance",
-        paper_claim=(
-            "Ineq. (4): sigma shrinks by poly(n) within an epoch w.h.p.; "
-            "Ineq. (7): the post-swap imbalance is <= n^(3/2) "
-            "sigma(T_{k+1}^-); Ineq. (8): variance contracts by n^-4 per "
-            "epoch w.h.p. (measured from the second epoch on; the first "
-            "is the documented non-convex transient)."
-        ),
-    )
-    table = Table(
-        ["n", "epoch L", "median sigma contraction (e1)", "n^-3",
-         "median var contraction (e2)", "n^-4",
-         "max |mu_end|/(n^1.5 sigma_pre)", "median transient var growth (e1)"],
-        title="E7: epoch contraction statistics (dumbbells)",
-    )
-    all_sigma_ok = True
-    all_var_ok = True
-    all_mu_ok = True
-    transient_growth_seen = False
+    rows = []
     for index, n in enumerate(sizes):
         pair = dumbbell_graph(n)
         epoch = epoch_length_ticks(pair.partition, constant=3.0)
-        sigma_ratios = []
-        var_ratios_steady = []
-        var_ratios_transient = []
-        mu_margins = []
+        sigma_ratios, var_transient, var_steady, mu_margins = [], [], [], []
         for rep in range(replicates):
-            x0 = bimodal_noise(pair.partition, rng=seed + 1000 * index + rep, noise=0.5)
+            x0 = bimodal_noise(
+                pair.partition, rng=seed + 1000 * index + rep, noise=0.5
+            )
             records = epoch_potential_trace(
                 pair.partition,
                 x0,
@@ -288,42 +162,18 @@ def e7_epoch_contraction(
             )
             first, second = records[0], records[1]
             sigma_ratios.append(first.sigma_contraction)
-            var_ratios_transient.append(first.variance_contraction)
-            var_ratios_steady.append(second.variance_contraction)
+            var_transient.append(first.variance_contraction)
+            var_steady.append(second.variance_contraction)
             denominator = n**1.5 * first.sigma_pre_swap + 1e-12
             mu_margins.append(first.mu_end / denominator)
-        median_sigma = float(np.median(sigma_ratios))
-        median_var = float(np.median(var_ratios_steady))
-        median_transient = float(np.median(var_ratios_transient))
-        max_mu_margin = float(np.max(mu_margins))
-        table.add_row(
-            [n, epoch, median_sigma, n**-3.0, median_var, n**-4.0,
-             max_mu_margin, median_transient]
+        rows.append(
+            {
+                "n": n,
+                "epoch": epoch,
+                "sigma_ratios": sigma_ratios,
+                "var_transient": var_transient,
+                "var_steady": var_steady,
+                "mu_margins": mu_margins,
+            }
         )
-        all_sigma_ok = all_sigma_ok and median_sigma <= n**-3.0
-        all_var_ok = all_var_ok and median_var <= n**-4.0
-        all_mu_ok = all_mu_ok and max_mu_margin <= 3.0
-        transient_growth_seen = transient_growth_seen or median_transient > 1.0
-    report.tables.append(table)
-    report.add_check(
-        "median within-epoch sigma contraction beats n^-3",
-        all_sigma_ok,
-        "ineq. (4) asks for n^-6 w.p. 1 - 1/(4n); the median comfortably "
-        "clears n^-3 at these sizes",
-    )
-    report.add_check(
-        "median steady-state variance contraction beats n^-4",
-        all_var_ok,
-        "ineq. (8), measured on epoch 2",
-    )
-    report.add_check(
-        "post-swap imbalance obeys ineq. (7) up to a small constant",
-        all_mu_ok,
-        "|mu(T+)| <= 3 * n^(3/2) * sigma(T-) across all replicates",
-    )
-    report.add_check(
-        "the non-convex transient is real (first epoch can inflate variance)",
-        transient_growth_seen,
-        "the paper's 'skew the values in the short term', observed",
-    )
-    return report
+    return {"sizes": sizes, "replicates": replicates, "rows": rows}

@@ -1,4 +1,14 @@
-"""Experiments E8-E10: baselines, topology robustness, epoch-constant ablation."""
+"""E8 measurement provider: every averaging baseline on one dumbbell.
+
+E9 (topology families) and E10 (epoch-constant ablation) are
+sweep-backed — their grids are declared in
+:mod:`repro.experiments.specs_sweeps` and their reports assembled in
+:mod:`repro.reports` from stored :class:`~repro.engine.sweeps
+.SweepResult` data.  E8's zoo of algorithm factories does not fit a
+grid axis, so it stays a *provider*: this module runs the measurements
+and returns plain data; tables, findings and shape checks are assembled
+by the declarative pipeline in :mod:`repro.reports`, never here.
+"""
 
 from __future__ import annotations
 
@@ -12,11 +22,9 @@ from repro.algorithms.second_order import (
 )
 from repro.algorithms.two_timescale import TwoTimescaleGossip
 from repro.algorithms.vanilla import VanillaGossip
-from repro.analysis.bounds import theorem1_lower_bound, theorem2_upper_bound
-from repro.core.epochs import epoch_length_ticks
+from repro.analysis.bounds import theorem1_lower_bound
 from repro.engine.backends import AlgorithmFactory
 from repro.experiments.harness import (
-    ExperimentReport,
     measure_averaging_time,
     pick,
     resolve_scale,
@@ -29,23 +37,22 @@ from repro.experiments.specs_scaling import (
 )
 from repro.experiments.workloads import cut_aligned
 from repro.graphs.composites import dumbbell_graph
-from repro.util.tables import Table
+
+#: Rounds cap for the synchronous second-order baseline.
+E8_SYNC_MAX_ROUNDS = 50_000
 
 
-# ----------------------------------------------------------------------
-# E8 — baseline comparison on the dumbbell
-# ----------------------------------------------------------------------
+def e8_measurements(scale: "str | None" = None, seed: int = 31) -> dict:
+    """Measure every implemented averaging scheme on one dumbbell.
 
-
-def e8_baselines(scale: "str | None" = None, seed: int = 31) -> ExperimentReport:
-    """Every implemented averaging scheme head-to-head on one dumbbell.
-
-    The table a practitioner wants: class-C members (vanilla, lazy,
-    random-alpha), the related-work schemes the paper cites (two-time-
-    scale [1,4]; second-order diffusion [5], both synchronous-faithful and
-    async-adapted), push-sum (outside class C but still cut-limited), and
-    Algorithm A.  One synchronous round counts as one time unit (every
-    edge ticks once per unit time in expectation; DESIGN.md section 2).
+    Returns one row per arm (label, algorithm class, T_av, censored) in
+    table order: the class-C members (vanilla, lazy, random-alpha), the
+    related-work schemes the paper cites (two-time-scale [1,4];
+    second-order diffusion [5], both synchronous-faithful and
+    async-adapted), push-sum (outside class C but still cut-limited),
+    the synchronous second-order baseline in rounds, and Algorithm A.
+    One synchronous round counts as one time unit (every edge ticks once
+    per unit time in expectation; DESIGN.md section 2).
     """
     from repro.experiments.specs_sweeps import REPORT_REPLICATES
 
@@ -56,22 +63,6 @@ def e8_baselines(scale: "str | None" = None, seed: int = 31) -> ExperimentReport
     pair = dumbbell_graph(n)
     x0 = cut_aligned(pair.partition)
     budget = convex_budget(pair)
-
-    report = ExperimentReport(
-        experiment_id="E8",
-        title=f"Baseline comparison on the dumbbell (n = {n})",
-        paper_claim=(
-            "Only the non-convex cross-cut update escapes the Theorem-1 "
-            "bottleneck; convex schemes (whatever their schedule), "
-            "push-sum, and per-round momentum methods all remain "
-            "cut-limited."
-        ),
-    )
-    table = Table(
-        ["algorithm", "class", "T_av", "vs thm1 bound"],
-        title=f"E8: averaging times, dumbbell n = {n} "
-        f"(thm1 bound = {theorem1_lower_bound(pair.partition):.3g})",
-    )
     bound = theorem1_lower_bound(pair.partition)
 
     factories = [
@@ -98,30 +89,34 @@ def e8_baselines(scale: "str | None" = None, seed: int = 31) -> ExperimentReport
             AlgorithmFactory(AsyncSecondOrderGossip, 1.5),
         ),
     ]
-    results: dict[str, float] = {}
-    censored: dict[str, bool] = {}
+    rows = []
     for index, (label, klass, factory) in enumerate(factories):
         estimate = measure_averaging_time(
             pair.graph, factory, x0,
             n_replicates=replicates, seed=seed + 10 * index,
             max_time=budget, max_events=MAX_EVENTS,
         )
-        results[label] = estimate.estimate
-        censored[label] = estimate.is_censored
-        cell = "censored" if estimate.is_censored else f"{estimate.estimate:.4g}"
-        ratio = (
-            "-" if estimate.is_censored else f"{estimate.estimate / bound:.2f}"
+        rows.append(
+            {
+                "label": label,
+                "klass": klass,
+                "tav": estimate.estimate,
+                "censored": estimate.is_censored,
+            }
         )
-        table.add_row([label, klass, cell, ratio])
 
     # Synchronous second-order diffusion: rounds ~ time units.
     sync = SecondOrderDiffusionSync(pair.graph)
-    rounds = sync.rounds_to_ratio(x0, target_ratio=math.e**-2, max_rounds=50_000)
-    results["sync 2nd-order (rounds)"] = float(rounds)
-    censored["sync 2nd-order (rounds)"] = rounds >= 50_000
-    table.add_row(
-        ["sync 2nd-order [5]", "non-C, momentum", float(rounds),
-         f"{rounds / bound:.2f}"]
+    rounds = sync.rounds_to_ratio(
+        x0, target_ratio=math.e**-2, max_rounds=E8_SYNC_MAX_ROUNDS
+    )
+    rows.append(
+        {
+            "label": "sync 2nd-order [5]",
+            "klass": "non-C, momentum",
+            "tav": float(rounds),
+            "censored": rounds >= E8_SYNC_MAX_ROUNDS,
+        }
     )
 
     factory_a, _ = _algorithm_a_factory(pair)
@@ -130,242 +125,12 @@ def e8_baselines(scale: "str | None" = None, seed: int = 31) -> ExperimentReport
         n_replicates=replicates, seed=seed + 999,
         max_time=nonconvex_budget(pair), max_events=MAX_EVENTS,
     )
-    results["algorithm A"] = est_a.estimate
-    censored["algorithm A"] = est_a.is_censored
-    table.add_row(
-        ["algorithm A", "non-convex cut swap", est_a.estimate,
-         f"{est_a.estimate / bound:.2f}"]
+    rows.append(
+        {
+            "label": "algorithm A",
+            "klass": "non-convex cut swap",
+            "tav": est_a.estimate,
+            "censored": est_a.is_censored,
+        }
     )
-    report.tables.append(table)
-
-    finite_baselines = {
-        label: value
-        for label, value in results.items()
-        if label != "algorithm A" and not censored[label]
-    }
-    best_baseline = min(finite_baselines.values())
-    report.findings["best_baseline_tav"] = best_baseline
-    report.findings["algorithm_a_tav"] = est_a.estimate
-    report.findings["advantage"] = best_baseline / max(est_a.estimate, 1e-9)
-    report.add_check(
-        "Algorithm A converged",
-        not est_a.is_censored,
-        f"T_av = {est_a.estimate:.3g}",
-    )
-    report.add_check(
-        "Algorithm A beats every baseline",
-        est_a.estimate < best_baseline,
-        f"best baseline {best_baseline:.3g} vs A {est_a.estimate:.3g}",
-    )
-    convex_labels = [lab for lab, klass, _ in factories if klass == "convex C"]
-    convex_respect = all(
-        censored[label] or results[label] >= bound for label in convex_labels
-    )
-    report.add_check(
-        "every class-C member respects the Theorem-1 bound",
-        convex_respect,
-        f"bound = {bound:.3g}",
-    )
-    return report
-
-
-# ----------------------------------------------------------------------
-# E9 — topology robustness (and the well-connectedness hypothesis)
-# ----------------------------------------------------------------------
-
-
-def e9_topologies(scale: "str | None" = None, seed: int = 37) -> ExperimentReport:
-    """Sparse-cut families beyond cliques — including a negative control.
-
-    Grid pairs have ``Tvan(G_i) = Theta(n_i)``, so the paper's hypothesis
-    "internally well connected" fails: Theorem 2's envelope
-    ``C ln n (Tvan1 + Tvan2)`` exceeds the convex bound and Algorithm A
-    is *predicted* to lose there.  The check asserts the regime indicator
-    ``(Tvan1 + Tvan2) ln n << n1 / |E12|`` forecasts the winner for every
-    family — that is the paper's actual claim.
-    """
-    scale = resolve_scale(scale)
-    # Family grid and instance parameters come from the E9 SweepSpec
-    # declaration (specs_sweeps is the single source of truth for ported
-    # grids); the pair construction is shared with the sweep builder.
-    from repro.experiments.specs_sweeps import (
-        E9_FAMILIES,
-        E9_GRID_DIMS,
-        E9_HALF,
-        EXPANDER_DEGREE,
-        REPORT_REPLICATES,
-        build_family_pair,
-    )
-
-    replicates = REPORT_REPLICATES[scale]
-    labels = {
-        "clique": "clique",
-        "expander": "expander (ambiguous zone)",
-        "erdos_renyi": "erdos-renyi",
-        "grid": "grid (negative control)",
-    }
-    rows, cols = E9_GRID_DIMS[scale]
-    families = [
-        (
-            labels[family],
-            build_family_pair(
-                family,
-                half=E9_HALF[scale],
-                grid_rows=rows,
-                grid_cols=cols,
-                degree=EXPANDER_DEGREE[scale],
-                seed=seed,
-            ),
-        )
-        for family in E9_FAMILIES[scale]
-    ]
-
-    report = ExperimentReport(
-        experiment_id="E9",
-        title="Topology robustness across sparse-cut families",
-        paper_claim=(
-            "A outperforms class C whenever G1, G2 are internally well "
-            "connected relative to the cut; when they are not (grids), "
-            "the Theorem-2 envelope exceeds the convex bound and the "
-            "advantage is predicted to disappear."
-        ),
-    )
-    table = Table(
-        ["family", "n", "regime indicator", "T_av vanilla", "T_av A",
-         "speedup", "A predicted to win?"],
-        title="E9: vanilla vs Algorithm A by family (regime indicator = "
-        "thm2 envelope / whole-graph spectral time; < 1 favours A)",
-    )
-    from repro.graphs.spectral import spectral_mixing_time
-
-    predictions_ok = True
-    for index, (label, pair) in enumerate(families):
-        x0 = cut_aligned(pair.partition)
-        est_vanilla = measure_averaging_time(
-            pair.graph, VanillaGossip, x0,
-            n_replicates=replicates, seed=seed + 100 + index,
-            max_time=convex_budget(pair), max_events=MAX_EVENTS,
-        )
-        factory, _ = _algorithm_a_factory(pair)
-        est_a = measure_averaging_time(
-            pair.graph, factory, x0,
-            n_replicates=replicates, seed=seed + 200 + index,
-            max_time=max(nonconvex_budget(pair), convex_budget(pair)),
-            max_events=MAX_EVENTS,
-        )
-        envelope = theorem2_upper_bound(pair.partition, constant=3.0)
-        # Compare A's envelope to the *actual* convex time scale (the
-        # whole-graph spectral mixing time), not the Theorem-1 constant:
-        # that ratio is what decides who wins in practice.
-        convex_scale = spectral_mixing_time(pair.graph)
-        indicator = envelope / convex_scale
-        predicted_win = indicator < 1.0
-        speedup = est_vanilla.estimate / max(est_a.estimate, 1e-9)
-        measured_win = speedup > 1.5
-        # Only insist on agreement when the prediction is clear-cut.
-        if indicator < 1.0 / 3.0:
-            predictions_ok = predictions_ok and measured_win
-        elif indicator > 3.0:
-            predictions_ok = predictions_ok and not measured_win
-        table.add_row(
-            [label, pair.graph.n_vertices, indicator, est_vanilla.estimate,
-             est_a.estimate, speedup, predicted_win]
-        )
-    report.tables.append(table)
-    report.add_check(
-        "the well-connectedness indicator predicts the winner",
-        predictions_ok,
-        "speedup > 1.5 iff thm2 envelope clearly below the convex time "
-        "scale (clear-cut rows only; ambiguous rows reported)",
-    )
-    return report
-
-
-# ----------------------------------------------------------------------
-# E10 — epoch-constant ablation (fidelity note F4)
-# ----------------------------------------------------------------------
-
-
-def e10_epoch_constant(scale: "str | None" = None, seed: int = 41) -> ExperimentReport:
-    """Sweep the paper's unspecified constant C.
-
-    On slow-mixing sides (grid pairs), epochs shorter than the internal
-    mixing time fire the swap on unmixed endpoint values and convergence
-    degrades or dies — the reason the paper needs ``C >> 1``.  On fast
-    sides (expanders) larger C only wastes time linearly.
-
-    The C grid itself runs through the sweep scheduler (E10 SweepSpec in
-    ``specs_sweeps``); this function aggregates the resulting
-    :class:`SweepResult` and recomputes the epoch bookkeeping from the
-    shared pair constructor.
-    """
-    scale = resolve_scale(scale)
-    from repro.engine.sweeps import run_sweep
-    from repro.experiments.specs_sweeps import (
-        E10_CONSTANTS,
-        E10_GRID_DIMS,
-        build_epoch_grid_pair,
-        e10_sweep,
-        report_budget,
-    )
-
-    constants = list(E10_CONSTANTS[scale])
-    rows, cols = E10_GRID_DIMS[scale]
-    grid_pair = build_epoch_grid_pair(grid_rows=rows, grid_cols=cols)
-    result = run_sweep(
-        e10_sweep(scale), seed=seed, budget=report_budget(scale)
-    )
-
-    report = ExperimentReport(
-        experiment_id="E10",
-        title="Epoch-constant ablation (the paper's C)",
-        paper_claim=(
-            "Algorithm A needs C large enough that an epoch mixes each "
-            "side internally (ineq. 4); with C too small the swap reads "
-            "unmixed endpoints and stops making progress."
-        ),
-    )
-    table = Table(
-        ["C", "epoch L", "epoch time / Tvan sum", "T_av A"],
-        title=f"E10: C sweep on a grid pair (n = {grid_pair.graph.n_vertices})",
-    )
-    g1, _, g2, _ = grid_pair.partition.subgraphs()
-    from repro.graphs.spectral import spectral_mixing_time
-
-    tvan_sum = spectral_mixing_time(g1) + spectral_mixing_time(g2)
-    times: dict[float, float] = {}
-    censored: dict[float, bool] = {}
-    for constant in constants:
-        epoch = epoch_length_ticks(grid_pair.partition, constant=constant)
-        point = result.point(constant=constant)
-        times[constant] = point.estimate
-        censored[constant] = point.is_censored
-        cell = "censored" if point.is_censored else f"{point.estimate:.4g}"
-        table.add_row([constant, epoch, epoch / tvan_sum, cell])
-    report.tables.append(table)
-
-    healthy = [c for c in constants if c >= 1.0]
-    tiny = [c for c in constants if c < 0.1]
-    report.add_check(
-        "large C converges",
-        all(not censored[c] for c in healthy),
-        f"C in {healthy} all settled",
-    )
-    if tiny:
-        # Too-small C must be visibly worse: censored, or far slower than
-        # the best healthy configuration.
-        best_healthy = min(times[c] for c in healthy)
-        degraded = all(
-            censored[c] or times[c] >= 3.0 * best_healthy for c in tiny
-        )
-        report.add_check(
-            "too-small C degrades or stalls",
-            degraded,
-            f"C in {tiny}: "
-            + ", ".join(
-                "censored" if censored[c] else f"{times[c]:.3g}" for c in tiny
-            )
-            + f" vs best healthy {best_healthy:.3g}",
-        )
-    report.findings["tvan_sum"] = tvan_sum
-    return report
+    return {"n": n, "bound": bound, "rows": rows}

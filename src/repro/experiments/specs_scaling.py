@@ -1,29 +1,20 @@
-"""Experiments E1-E5: the paper's quantitative claims as measurements.
+"""Shared measurement budgets for the paper's experiments.
 
-Each function regenerates one "table/figure" a systems version of the
-paper would have shown, with scale presets (smoke/default/full) so the
-same code serves integration tests and the benchmark suite.
+The per-experiment report assembly lives in :mod:`repro.reports` (one
+declarative :class:`~repro.reports.model.ReportSpec` path over stored
+:class:`~repro.engine.sweeps.SweepResult` data); this module keeps only
+the physics every sweep builder and report shares — how long a run may
+take before it is censored, and how Algorithm A is instantiated.
 """
 
 from __future__ import annotations
 
 from repro.algorithms.nonconvex import NonConvexSparseCutGossip
-from repro.algorithms.vanilla import VanillaGossip
 from repro.analysis.bounds import theorem1_lower_bound, theorem2_upper_bound
 from repro.core.epochs import epoch_length_ticks
 from repro.engine.backends import AlgorithmFactory
-from repro.experiments.harness import (
-    ExperimentReport,
-    measure_averaging_time,
-    resolve_scale,
-)
-from repro.engine.sweeps import run_sweep
-from repro.experiments.workloads import cut_aligned
-from repro.graphs.composites import BridgedPair, dumbbell_graph
+from repro.graphs.composites import BridgedPair
 from repro.graphs.spectral import spectral_mixing_time
-from repro.util.ascii_plot import line_plot
-from repro.util.mathx import fit_power_law
-from repro.util.tables import Table
 
 #: Default events cap per replicate (a generous runaway guard).
 MAX_EVENTS = 20_000_000
@@ -56,475 +47,3 @@ def _algorithm_a_factory(pair: BridgedPair, *, constant: float = 3.0, gain="exac
         NonConvexSparseCutGossip, pair.partition, epoch_length=epoch, gain=gain
     )
     return factory, epoch
-
-
-# ----------------------------------------------------------------------
-# E1 — Theorem 1: convex lower bound Omega(n1 / |E12|)
-# ----------------------------------------------------------------------
-
-
-def e1_convex_lower_bound(
-    scale: "str | None" = None, seed: int = 7
-) -> ExperimentReport:
-    """Convex algorithms on single-bridge expander pairs scale linearly.
-
-    The size x algorithm grid runs through the sweep scheduler (one
-    backend batch per round, shared-state shipping); this function only
-    aggregates the resulting :class:`SweepResult` — there is no second
-    estimator path to drift from.
-    """
-    scale = resolve_scale(scale)
-    from repro.experiments.specs_sweeps import (
-        E1_SIZES,
-        EXPANDER_DEGREE,
-        build_size_pair,
-        e1_sweep,
-        report_budget,
-    )
-
-    sizes = list(E1_SIZES[scale])
-    degree = EXPANDER_DEGREE[scale]
-    result = run_sweep(
-        e1_sweep(scale, seed=seed), seed=seed, budget=report_budget(scale)
-    )
-
-    report = ExperimentReport(
-        experiment_id="E1",
-        title="Convex lower bound: T_av vs n at one bridge (expander pairs)",
-        paper_claim=(
-            "Theorem 1: every algorithm in class C has "
-            "T_av = Omega(min(n1, n2) / |E12|); with |E12| = 1 this is "
-            "linear growth in n."
-        ),
-    )
-    table = Table(
-        ["n", "n1", "|E12|", "thm1 bound", "T_av vanilla", "T_av lazy(0.75)",
-         "vanilla/bound"],
-        title="E1: convex averaging time vs size (cut width 1)",
-    )
-    ns, vanilla_times, lazy_times, bounds = [], [], [], []
-    for n in sizes:
-        pair = build_size_pair(n, degree=degree, seed=seed)
-        est_vanilla = result.point(n=n, algorithm="vanilla").estimate
-        est_lazy = result.point(n=n, algorithm="lazy").estimate
-        bound = theorem1_lower_bound(pair.partition)
-        table.add_row(
-            [n, pair.partition.n1, pair.partition.cut_size, bound,
-             est_vanilla, est_lazy, est_vanilla / bound]
-        )
-        ns.append(pair.graph.n_vertices)
-        vanilla_times.append(est_vanilla)
-        lazy_times.append(est_lazy)
-        bounds.append(bound)
-    report.tables.append(table)
-    report.figures.append(
-        line_plot(
-            {
-                "vanilla": (ns, vanilla_times),
-                "lazy": (ns, lazy_times),
-                "thm1 bound": (ns, bounds),
-            },
-            title="E1: T_av vs n (log-log); slope ~ 1 = linear growth",
-            logx=True,
-            logy=True,
-        )
-    )
-
-    exponent, _ = fit_power_law(ns, vanilla_times)
-    report.findings["vanilla_scaling_exponent"] = exponent
-    report.findings["lazy_scaling_exponent"] = fit_power_law(ns, lazy_times)[0]
-    above = all(t >= b for t, b in zip(vanilla_times, bounds)) and all(
-        t >= b for t, b in zip(lazy_times, bounds)
-    )
-    report.add_check(
-        "measured T_av respects the Theorem-1 bound",
-        above,
-        "min measured/bound = "
-        + format(
-            min(
-                t / b
-                for t, b in zip(vanilla_times + lazy_times, bounds + bounds)
-            ),
-            ".2f",
-        ),
-    )
-    if len(ns) >= 3:
-        report.add_check(
-            "vanilla grows ~linearly in n",
-            0.6 <= exponent <= 1.4,
-            f"log-log slope {exponent:.2f} (theory: 1)",
-        )
-    return report
-
-
-# ----------------------------------------------------------------------
-# E2 — Theorem 2: Algorithm A upper bound O(log n (Tvan1 + Tvan2))
-# ----------------------------------------------------------------------
-
-
-def e2_nonconvex_upper_bound(
-    scale: "str | None" = None, seed: int = 11
-) -> ExperimentReport:
-    """Algorithm A on the same instances stays inside its envelope.
-
-    Like E1, the size grid runs through the sweep scheduler and this
-    function aggregates the :class:`SweepResult` — bounds and epochs are
-    recomputed from the shared pair constructor, never re-measured.
-    """
-    scale = resolve_scale(scale)
-    from repro.experiments.specs_sweeps import (
-        E1_SIZES,
-        EXPANDER_DEGREE,
-        build_size_pair,
-        e2_sweep,
-        report_budget,
-    )
-
-    sizes = list(E1_SIZES[scale])
-    degree = EXPANDER_DEGREE[scale]
-    result = run_sweep(
-        e2_sweep(scale, seed=seed), seed=seed, budget=report_budget(scale)
-    )
-
-    report = ExperimentReport(
-        experiment_id="E2",
-        title="Algorithm A: T_av vs n against the Theorem-2 envelope",
-        paper_claim=(
-            "Theorem 2: Algorithm A has "
-            "T_av = O(log n * (Tvan(G1) + Tvan(G2))); on well-connected "
-            "sides this is polylogarithmic in n."
-        ),
-    )
-    table = Table(
-        ["n", "epoch L", "thm2 envelope", "T_av A", "envelope margin"],
-        title="E2: non-convex averaging time vs size (cut width 1)",
-    )
-    ns, a_times, envelopes = [], [], []
-    for n in sizes:
-        pair = build_size_pair(n, degree=degree, seed=seed)
-        _, epoch = _algorithm_a_factory(pair)
-        estimate = result.point(n=n).estimate
-        envelope = theorem2_upper_bound(pair.partition, constant=3.0)
-        table.add_row(
-            [n, epoch, envelope, estimate,
-             (envelope + 2.0) / max(estimate, 1e-9)]
-        )
-        ns.append(pair.graph.n_vertices)
-        a_times.append(estimate)
-        envelopes.append(envelope)
-    report.tables.append(table)
-    report.figures.append(
-        line_plot(
-            {"algorithm A": (ns, a_times), "thm2 envelope": (ns, envelopes)},
-            title="E2: T_av(A) vs n (log-log); flat/slow growth",
-            logx=True,
-            logy=True,
-        )
-    )
-    exponent, _ = fit_power_law(ns, a_times)
-    report.findings["a_scaling_exponent"] = exponent
-    # The theorem is an order bound; allow a constant factor on top of the
-    # envelope plus the epoch-tick latency the ceiling introduces.
-    inside = all(t <= 4.0 * (env + 2.0) for t, env in zip(a_times, envelopes))
-    report.add_check(
-        "T_av(A) within a constant factor of the Theorem-2 envelope",
-        inside,
-        f"max T_av/(envelope+2) = "
-        f"{max(t / (env + 2.0) for t, env in zip(a_times, envelopes)):.2f} (<= 4)",
-    )
-    if len(ns) >= 3:
-        report.add_check(
-            "T_av(A) grows sublinearly (polylog regime)",
-            exponent <= 0.6,
-            f"log-log slope {exponent:.2f} (vanilla in E1 is ~1)",
-        )
-    return report
-
-
-# ----------------------------------------------------------------------
-# E3 — headline: the dumbbell, Omega(n) vs O(log n)
-# ----------------------------------------------------------------------
-
-
-def e3_dumbbell_headline(
-    scale: "str | None" = None, seed: int = 13
-) -> ExperimentReport:
-    """Two cliques + one bridge: the paper's exponential separation.
-
-    Sizes start at 32: below that, Algorithm A's first-swap latency (the
-    designated edge must tick ``L`` times before any mass crosses) eats
-    the whole budget and the asymptotic separation has not kicked in yet
-    — an honest small-``n`` effect worth knowing about, reported in
-    EXPERIMENTS.md.
-    """
-    scale = resolve_scale(scale)
-    # The size grid is declared once, as the E3 SweepSpec's axis
-    # (specs_sweeps is the single source of truth for ported grids).
-    from repro.experiments.specs_sweeps import E3_SIZES, REPORT_REPLICATES
-
-    sizes = list(E3_SIZES[scale])
-    replicates = REPORT_REPLICATES[scale]
-
-    report = ExperimentReport(
-        experiment_id="E3",
-        title="Dumbbell headline: vanilla Omega(n) vs Algorithm A O(log n)",
-        paper_claim=(
-            "For G' = two n/2-cliques joined by one edge: any convex "
-            "algorithm needs Omega(n) while Algorithm A needs O(log n)."
-        ),
-    )
-    table = Table(
-        ["n", "T_av vanilla", "T_av A", "speedup", "thm1 bound", "thm2 dumbbell"],
-        title="E3: dumbbell averaging times",
-    )
-    ns, vanilla_times, a_times, speedups = [], [], [], []
-    for index, n in enumerate(sizes):
-        pair = dumbbell_graph(n)
-        x0 = cut_aligned(pair.partition)
-        est_vanilla = measure_averaging_time(
-            pair.graph, VanillaGossip, x0,
-            n_replicates=replicates, seed=seed + 100 + index,
-            max_time=convex_budget(pair), max_events=MAX_EVENTS,
-        )
-        factory, _ = _algorithm_a_factory(pair)
-        est_a = measure_averaging_time(
-            pair.graph, factory, x0,
-            n_replicates=replicates, seed=seed + 200 + index,
-            max_time=nonconvex_budget(pair), max_events=MAX_EVENTS,
-        )
-        speedup = est_vanilla.estimate / max(est_a.estimate, 1e-9)
-        from repro.analysis.bounds import dumbbell_predictions
-
-        envelope = dumbbell_predictions(n)["nonconvex_upper_bound"]
-        table.add_row(
-            [n, est_vanilla.estimate, est_a.estimate, speedup,
-             theorem1_lower_bound(pair.partition), envelope]
-        )
-        ns.append(n)
-        vanilla_times.append(est_vanilla.estimate)
-        a_times.append(est_a.estimate)
-        speedups.append(speedup)
-    report.tables.append(table)
-    report.figures.append(
-        line_plot(
-            {"vanilla": (ns, vanilla_times), "algorithm A": (ns, a_times)},
-            title="E3: dumbbell T_av (log-log) - the separation",
-            logx=True,
-            logy=True,
-        )
-    )
-    exponent_vanilla, _ = fit_power_law(ns, vanilla_times)
-    report.findings["vanilla_exponent"] = exponent_vanilla
-    report.findings["speedup_at_max_n"] = speedups[-1]
-    report.add_check(
-        "Algorithm A clearly beats vanilla at the largest size",
-        speedups[-1] >= 4.0,
-        f"speedup at n={ns[-1]}: {speedups[-1]:.1f}",
-    )
-    report.add_check(
-        "speedup grows with n",
-        speedups[-1] > speedups[0],
-        f"{speedups[0]:.1f} -> {speedups[-1]:.1f}",
-    )
-    from repro.analysis.bounds import dumbbell_predictions
-
-    report.add_check(
-        "A stays within the logarithmic envelope (x2.5 constant slack)",
-        all(
-            t <= 2.5 * dumbbell_predictions(n)["nonconvex_upper_bound"]
-            for t, n in zip(a_times, ns)
-        ),
-        f"max T_av(A) = {max(a_times):.2f}",
-    )
-    if len(ns) >= 3:
-        report.add_check(
-            "vanilla grows ~linearly on dumbbells",
-            0.6 <= exponent_vanilla <= 1.4,
-            f"log-log slope {exponent_vanilla:.2f} (theory: 1)",
-        )
-    return report
-
-
-# ----------------------------------------------------------------------
-# E4 — cut-width scaling: T_av ~ n1 / |E12| for convex; A insensitive
-# ----------------------------------------------------------------------
-
-
-def e4_cut_width(scale: "str | None" = None, seed: int = 17) -> ExperimentReport:
-    """Sweep |E12| at fixed n: convex time falls ~1/|E12|, A stays flat."""
-    scale = resolve_scale(scale)
-    # Width grid, pair size and pair construction come from the E4
-    # SweepSpec declaration (specs_sweeps is the single source of truth
-    # for ported grids, so sweep and report measure the same instances).
-    from repro.experiments.specs_sweeps import (
-        E4_HALF,
-        E4_WIDTHS,
-        EXPANDER_DEGREE,
-        REPORT_REPLICATES,
-        build_width_pair,
-    )
-
-    half = E4_HALF[scale]
-    degree = EXPANDER_DEGREE[scale]
-    widths = list(E4_WIDTHS[scale])
-    replicates = REPORT_REPLICATES[scale]
-
-    report = ExperimentReport(
-        experiment_id="E4",
-        title="Cut-width sweep at fixed n (expander pairs)",
-        paper_claim=(
-            "Theorem 1's bound is Omega(n1/|E12|): doubling the cut width "
-            "halves the convex bottleneck, while Algorithm A uses a single "
-            "designated edge and is insensitive to the width."
-        ),
-    )
-    table = Table(
-        ["|E12|", "thm1 bound", "T_av vanilla", "T_av A"],
-        title=f"E4: cut-width sweep (n = {2 * half})",
-    )
-    vanilla_times, a_times, bounds = [], [], []
-    for index, width in enumerate(widths):
-        pair = build_width_pair(width, half=half, degree=degree, seed=seed)
-        x0 = cut_aligned(pair.partition)
-        est_vanilla = measure_averaging_time(
-            pair.graph, VanillaGossip, x0,
-            n_replicates=replicates, seed=seed + 100 + index,
-            max_time=convex_budget(pair), max_events=MAX_EVENTS,
-        )
-        factory, _ = _algorithm_a_factory(pair)
-        est_a = measure_averaging_time(
-            pair.graph, factory, x0,
-            n_replicates=replicates, seed=seed + 200 + index,
-            max_time=nonconvex_budget(pair), max_events=MAX_EVENTS,
-        )
-        bound = theorem1_lower_bound(pair.partition)
-        table.add_row([width, bound, est_vanilla.estimate, est_a.estimate])
-        vanilla_times.append(est_vanilla.estimate)
-        a_times.append(est_a.estimate)
-        bounds.append(bound)
-    report.tables.append(table)
-    report.figures.append(
-        line_plot(
-            {
-                "vanilla": (widths, vanilla_times),
-                "algorithm A": (widths, a_times),
-                "thm1 bound": (widths, bounds),
-            },
-            title="E4: T_av vs cut width (log-log)",
-            logx=True,
-            logy=True,
-        )
-    )
-    drop = vanilla_times[0] / vanilla_times[-1]
-    width_ratio = widths[-1] / widths[0]
-    report.findings["vanilla_drop_factor"] = drop
-    report.findings["width_ratio"] = float(width_ratio)
-    report.add_check(
-        "convex time falls substantially with cut width",
-        drop >= 0.3 * width_ratio,
-        f"T_av(1 bridge)/T_av({widths[-1]} bridges) = {drop:.1f} "
-        f"(width grew {width_ratio}x)",
-    )
-    flatness = max(a_times) / max(min(a_times), 1e-9)
-    report.add_check(
-        "Algorithm A is insensitive to cut width",
-        flatness <= 5.0,
-        f"max/min T_av(A) across widths = {flatness:.2f}",
-    )
-    report.add_check(
-        "vanilla respects Theorem 1 at every width",
-        all(t >= b for t, b in zip(vanilla_times, bounds)),
-        f"min measured/bound = "
-        f"{min(t / b for t, b in zip(vanilla_times, bounds)):.2f}",
-    )
-    return report
-
-
-# ----------------------------------------------------------------------
-# E5 — balance sweep + gain ablation (fidelity note F1)
-# ----------------------------------------------------------------------
-
-
-def e5_balance_gain_ablation(
-    scale: "str | None" = None, seed: int = 19
-) -> ExperimentReport:
-    """Exact vs paper-literal swap gain across partition balances.
-
-    The paper's gain ``n1`` leaves a residual imbalance factor
-    ``-(n1/n2)`` per swap: fine when the cut is unbalanced, a perpetual
-    oscillation at ``n1 = n2``.  The exact (harmonic) gain ``n1 n2 / n``
-    zeroes it.  This is the repository's documented deviation (DESIGN.md
-    F1), shown here as data.
-    """
-    scale = resolve_scale(scale)
-    from repro.experiments.specs_sweeps import (
-        E5_FRACTIONS,
-        E5_TOTAL,
-        EXPANDER_DEGREE,
-        build_balance_pair,
-        e5_sweep,
-        report_budget,
-    )
-
-    total = E5_TOTAL[scale]
-    degree = EXPANDER_DEGREE[scale]
-    fractions = list(E5_FRACTIONS[scale])
-    result = run_sweep(
-        e5_sweep(scale, seed=seed), seed=seed, budget=report_budget(scale)
-    )
-
-    report = ExperimentReport(
-        experiment_id="E5",
-        title="Balance sweep and swap-gain ablation",
-        paper_claim=(
-            "Algorithm A as written uses gain n1; its own inequality (7) "
-            "requires the residual imbalance to vanish, which needs the "
-            "harmonic gain n1*n2/n. Literal n1 must fail exactly at "
-            "balanced cuts and survive at unbalanced ones."
-        ),
-    )
-    table = Table(
-        ["n1/n", "n1", "n2", "residual factor n1/n2", "T_av exact",
-         "T_av paper-gain"],
-        title=f"E5: gain ablation (n = {total}); 'censored' = never settled",
-    )
-    exact_ok = True
-    paper_failed_balanced = False
-    paper_ok_unbalanced = True
-    for fraction in fractions:
-        pair = build_balance_pair(
-            fraction, total=total, degree=degree, seed=seed
-        )
-        est_exact = result.point(fraction=fraction, gain="exact")
-        est_paper = result.point(fraction=fraction, gain="paper")
-        paper_cell = (
-            "censored" if est_paper.is_censored else f"{est_paper.estimate:.3g}"
-        )
-        table.add_row(
-            [f"{pair.partition.n1 / total:.3f}", pair.partition.n1,
-             pair.partition.n2, pair.partition.n1 / pair.partition.n2,
-             est_exact.estimate, paper_cell]
-        )
-        exact_ok = exact_ok and not est_exact.is_censored
-        balanced = pair.partition.n1 == pair.partition.n2
-        if balanced:
-            paper_failed_balanced = paper_failed_balanced or est_paper.is_censored
-        elif pair.partition.n1 / pair.partition.n2 <= 0.5:
-            paper_ok_unbalanced = paper_ok_unbalanced and not est_paper.is_censored
-    report.tables.append(table)
-    report.add_check(
-        "exact gain converges at every balance",
-        exact_ok,
-        "no censored replicate quantile with the harmonic gain",
-    )
-    report.add_check(
-        "paper-literal gain stalls at the balanced cut",
-        paper_failed_balanced,
-        "the n1-gain swap oscillates forever when n1 = n2 (fidelity note F1)",
-    )
-    report.add_check(
-        "paper-literal gain still converges when clearly unbalanced",
-        paper_ok_unbalanced,
-        "residual factor n1/n2 <= 1/2 shrinks the imbalance geometrically",
-    )
-    return report

@@ -34,7 +34,14 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.algorithms.convex import ConvexGossip
+from repro.algorithms.nonconvex import NonConvexSparseCutGossip
+from repro.algorithms.resilient import ResilientSparseCutGossip
 from repro.algorithms.vanilla import VanillaGossip
+from repro.clocks.unreliable import (
+    FailingPoissonClockFactory,
+    LossyPoissonClockFactory,
+)
+from repro.core.epochs import epoch_length_ticks
 from repro.engine.backends import AlgorithmFactory
 from repro.engine.sweeps import (
     PointConfig,
@@ -54,6 +61,7 @@ from repro.experiments.workloads import cut_aligned
 from repro.graphs.composites import (
     BridgedPair,
     dumbbell_graph,
+    two_cliques,
     two_erdos_renyi,
     two_expanders,
     two_grids,
@@ -106,6 +114,21 @@ E9_FAMILIES = {
 }
 E9_HALF = {"smoke": 16, "default": 48, "full": 96}
 E9_GRID_DIMS = {"smoke": (3, 3), "default": (6, 8), "full": (6, 8)}
+#: E13's configuration axis: what runs against the unreliable clocks.
+E13_CONFIGS = (
+    "vanilla_failing",
+    "algorithm_a_failing",
+    "resilient_failing",
+    "vanilla_lossy",
+    "vanilla_healthy",
+)
+E13_HALF = {"smoke": 12, "default": 24, "full": 48}
+#: When the designated cut edge dies (simulation time units).
+E13_DEATH_TIME = 2.0
+#: Per-tick message-loss probability for the lossy arm.
+E13_LOSS_RATE = 0.3
+#: Cut width of the E13 instance: two spare bridges survive the death.
+E13_BRIDGES = 3
 
 
 def _point_config(pair: BridgedPair, algorithm: str) -> PointConfig:
@@ -333,6 +356,54 @@ def e9_build_point(
     return _point_config(pair, algorithm)
 
 
+def e13_build_point(*, config: str, half: int) -> PointConfig:
+    """E13 failure-injection point: one configuration vs unreliable clocks.
+
+    The instance is a clique pair with :data:`E13_BRIDGES` bridges; the
+    failing arms kill the designated edge's clock at
+    :data:`E13_DEATH_TIME`, the lossy arm drops each tick with
+    probability :data:`E13_LOSS_RATE`, and ``vanilla_healthy`` is the
+    unperturbed baseline the slowdown claim divides by.
+    """
+    half = int(half)
+    pair = two_cliques(half, half, n_bridges=E13_BRIDGES)
+    epoch = epoch_length_ticks(pair.partition, constant=3.0)
+    failing_clock = FailingPoissonClockFactory(
+        pair.graph.n_edges, {pair.designated_edge: E13_DEATH_TIME}
+    )
+    if config == "vanilla_failing":
+        factory: "Callable[..., Any]" = VanillaGossip
+        clock: "Any | None" = failing_clock
+    elif config == "algorithm_a_failing":
+        factory = AlgorithmFactory(
+            NonConvexSparseCutGossip, pair.partition, epoch_length=epoch
+        )
+        clock = failing_clock
+    elif config == "resilient_failing":
+        factory = AlgorithmFactory(
+            ResilientSparseCutGossip, pair.partition, epoch_length=epoch
+        )
+        clock = failing_clock
+    elif config == "vanilla_lossy":
+        factory = VanillaGossip
+        clock = LossyPoissonClockFactory(pair.graph.n_edges, E13_LOSS_RATE)
+    elif config == "vanilla_healthy":
+        factory = VanillaGossip
+        clock = None
+    else:
+        raise ExperimentError(
+            f"unknown config {config!r}; expected one of {E13_CONFIGS}"
+        )
+    return PointConfig(
+        graph=pair.graph,
+        algorithm_factory=factory,
+        initial_values=cut_aligned(pair.partition),
+        clock_factory=clock,
+        max_time=3.0 * convex_budget(pair),
+        max_events=MAX_EVENTS,
+    )
+
+
 # ----------------------------------------------------------------------
 # sweep declarations
 # ----------------------------------------------------------------------
@@ -450,6 +521,22 @@ def e9_sweep(scale: "str | None" = None, seed: int = 37) -> SweepSpec:
     )
 
 
+def e13_sweep(scale: "str | None" = None, seed: int = 53) -> SweepSpec:
+    """E13 as a grid: failure-injection configurations on one clique pair.
+
+    ``seed`` is accepted for registry uniformity but unused: the clique
+    pair is deterministic and Monte-Carlo streams (including the clock
+    death/loss draws) come from the sweep root seed.
+    """
+    scale = resolve_scale(scale)
+    return SweepSpec(
+        name="E13",
+        axes=(SweepAxis("config", E13_CONFIGS),),
+        builder=e13_build_point,
+        base_params={"half": E13_HALF[scale]},
+    )
+
+
 #: Registered sweeps, keyed by experiment id.
 SWEEPS: "dict[str, Callable[..., SweepSpec]]" = {
     "E1": e1_sweep,
@@ -459,6 +546,7 @@ SWEEPS: "dict[str, Callable[..., SweepSpec]]" = {
     "E5": e5_sweep,
     "E9": e9_sweep,
     "E10": e10_sweep,
+    "E13": e13_sweep,
 }
 
 

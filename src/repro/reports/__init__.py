@@ -1,0 +1,51 @@
+"""Data-driven report generation and claims verification.
+
+One declarative pipeline (:class:`~repro.reports.model.ReportSpec` +
+:func:`~repro.reports.model.build_report`) renders every E1-E14 report
+from stored :class:`~repro.engine.sweeps.SweepResult` rows (resolved
+through :class:`~repro.reports.data.SweepSource`: results store,
+artifact directory, or fresh computation) and provider payloads; the
+claim catalogue (:mod:`repro.reports.claims`) recomputes the paper's
+machine-checkable statements from the same stored data for the
+``repro-experiments verify-claims`` drift gate.  See ``docs/reports.md``.
+"""
+
+from repro.reports.claims import (
+    CLAIM_SEEDS,
+    CLAIMS,
+    CLAIMS_SCHEMA,
+    Claim,
+    ClaimVerdict,
+    claims_bundle,
+    evaluate_claims,
+    get_claims,
+    required_sweeps,
+    verdict_table,
+)
+from repro.reports.data import SweepSource
+from repro.reports.model import (
+    CheckBuilder,
+    ReportContext,
+    ReportSpec,
+    build_report,
+)
+from repro.reports.registry import REPORT_SPECS
+
+__all__ = [
+    "CLAIMS",
+    "CLAIMS_SCHEMA",
+    "CLAIM_SEEDS",
+    "Claim",
+    "ClaimVerdict",
+    "CheckBuilder",
+    "REPORT_SPECS",
+    "ReportContext",
+    "ReportSpec",
+    "SweepSource",
+    "build_report",
+    "claims_bundle",
+    "evaluate_claims",
+    "get_claims",
+    "required_sweeps",
+    "verdict_table",
+]

@@ -1,0 +1,582 @@
+"""Machine-checkable paper claims, recomputed from stored sweep data.
+
+Each :class:`Claim` is a quantitative statement the paper makes —
+a fitted scaling exponent with a tolerance band, a dominance ordering,
+a bound inequality — expressed over :class:`~repro.engine.sweeps
+.SweepResult` rows alone, so the ``repro-experiments verify-claims``
+drift gate can recompute every verdict from the results store without
+re-simulating anything.  The tolerance bands are *calibrated envelopes*:
+wide enough that an in-distribution rerun passes at any scale, tight
+enough that a broken swap rule, a lost bound factor, or a silently
+changed budget flips at least one verdict.
+
+The catalogue (:data:`CLAIMS`) covers both theorems (E1/E2), the
+dumbbell headline scaling and speedup (E3), the dominance ordering the
+proof machinery predicts (E6, evaluated on the E3 grid's stored
+samples), cut-width insensitivity (E4), the gain-rule ablation (E5),
+and the failure-injection contrasts (E13).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.sweeps import PointResult, SweepResult
+from repro.errors import ExperimentError
+from repro.util.mathx import fit_power_law
+from repro.util.tables import Table
+
+#: Schema tag stamped into ``claims.json`` bundles.
+CLAIMS_SCHEMA = "repro-claims/v1"
+
+#: Root seed each claim sweep is resolved under — the owning report's
+#: default seed, so claims and reports share store cache entries.
+CLAIM_SEEDS = {"E1": 7, "E2": 11, "E3": 13, "E4": 17, "E5": 19, "E13": 53}
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    """One claim's recomputed outcome."""
+
+    claim_id: str
+    passed: bool
+    observed: "float | str"
+    expected: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        """Plain-dict view for the ``claims.json`` bundle."""
+        return {
+            "claim_id": self.claim_id,
+            "passed": self.passed,
+            "observed": self.observed,
+            "expected": self.expected,
+            "detail": self.detail,
+        }
+
+
+def _match_points(
+    result: SweepResult, select: "Mapping[str, Any]"
+) -> "list[PointResult]":
+    """Points whose params agree with every ``select`` entry."""
+    return [
+        point
+        for point in result.points
+        if all(point.params.get(key) == value for key, value in select.items())
+    ]
+
+
+def _one_point(result: SweepResult, select: "Mapping[str, Any]") -> PointResult:
+    matches = _match_points(result, select)
+    if len(matches) != 1:
+        raise ExperimentError(
+            f"selector {dict(select)!r} matched {len(matches)} points of "
+            f"sweep {result.sweep_name} (need exactly 1)"
+        )
+    return matches[0]
+
+
+def _fmt(select: "Mapping[str, Any]") -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(select.items()))
+
+
+@dataclass(frozen=True, kw_only=True)
+class Claim:
+    """Base: identity plus provenance; subclasses define the predicate."""
+
+    claim_id: str
+    experiment_id: str
+    sweep: str
+    paper_ref: str
+    statement: str
+
+    def evaluate(self, results: "Mapping[str, SweepResult]") -> ClaimVerdict:
+        """Recompute the verdict from resolved sweep results."""
+        raise NotImplementedError
+
+    def _result(self, results: "Mapping[str, SweepResult]") -> SweepResult:
+        if self.sweep not in results:
+            raise ExperimentError(
+                f"claim {self.claim_id} needs sweep {self.sweep!r} but only "
+                f"{sorted(results)} were resolved"
+            )
+        return results[self.sweep]
+
+    def _verdict(
+        self, passed: bool, observed: "float | str", expected: str, detail: str
+    ) -> ClaimVerdict:
+        return ClaimVerdict(
+            claim_id=self.claim_id,
+            passed=bool(passed),
+            observed=observed,
+            expected=expected,
+            detail=detail,
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class ExponentClaim(Claim):
+    """A power-law fit over one axis must land inside ``[low, high]``."""
+
+    axis: str
+    select: "Mapping[str, Any]" = field(default_factory=dict)
+    low: float
+    high: float
+
+    def evaluate(self, results: "Mapping[str, SweepResult]") -> ClaimVerdict:
+        result = self._result(results)
+        points = _match_points(result, self.select)
+        pairs = sorted(
+            (float(p.params[self.axis]), p.estimate)
+            for p in points
+            if not p.is_censored and math.isfinite(p.estimate)
+        )
+        expected = f"exponent in [{self.low:g}, {self.high:g}]"
+        if len({x for x, _ in pairs}) < 2:
+            return self._verdict(
+                False, "underdetermined", expected,
+                f"only {len(pairs)} finite points match {_fmt(self.select)}; "
+                "a power-law fit needs at least two axis values",
+            )
+        exponent, _ = fit_power_law([x for x, _ in pairs], [y for _, y in pairs])
+        censored = len(points) - len(pairs)
+        detail = (
+            f"fit over {len(pairs)} points of {self.sweep}[{_fmt(self.select)}]"
+            + (f" ({censored} censored excluded)" if censored else "")
+        )
+        return self._verdict(
+            self.low <= exponent <= self.high, float(exponent), expected, detail
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class RatioClaim(Claim):
+    """``numerator.estimate / denominator.estimate`` inside ``[low, high]``.
+
+    With ``axis`` set, both selectors are pinned to the largest value of
+    that axis present in the result — "at the biggest instance", which
+    is well defined at every scale.
+    """
+
+    numerator: "Mapping[str, Any]"
+    denominator: "Mapping[str, Any]"
+    axis: "str | None" = None
+    low: float
+    high: float
+
+    def evaluate(self, results: "Mapping[str, SweepResult]") -> ClaimVerdict:
+        result = self._result(results)
+        num_sel = dict(self.numerator)
+        den_sel = dict(self.denominator)
+        at = ""
+        if self.axis is not None:
+            pin = max(result.axes[self.axis])
+            num_sel[self.axis] = pin
+            den_sel[self.axis] = pin
+            at = f" at {self.axis}={pin}"
+        num = _one_point(result, num_sel)
+        den = _one_point(result, den_sel)
+        expected = f"ratio in [{self.low:g}, {self.high:g}]"
+        detail = f"{_fmt(self.numerator)} / {_fmt(self.denominator)}{at}"
+        if den.is_censored or not math.isfinite(den.estimate):
+            return self._verdict(
+                False, "denominator censored", expected,
+                detail + " (denominator did not converge within budget)",
+            )
+        ratio = num.estimate / den.estimate
+        passed = (
+            not math.isnan(ratio) and self.low <= ratio <= self.high
+        )
+        return self._verdict(passed, float(ratio), expected, detail)
+
+
+@dataclass(frozen=True, kw_only=True)
+class BoundClaim(Claim):
+    """Every matching estimate respects ``factor * bound(params)``.
+
+    ``bound`` reconstructs the theorem's prediction from the point's own
+    stored params (instance sizes, degrees, graph seeds travel with the
+    data, so the bound is recomputable from rows alone).  ``side`` is
+    ``"lower"`` (estimate must sit at or above) or ``"upper"`` (at or
+    below; a censored point fails an upper bound by definition).
+    """
+
+    select: "Mapping[str, Any]" = field(default_factory=dict)
+    bound: "Callable[[Mapping[str, Any]], float]"
+    side: str
+    factor: float = 1.0
+
+    def evaluate(self, results: "Mapping[str, SweepResult]") -> ClaimVerdict:
+        if self.side not in ("lower", "upper"):
+            raise ExperimentError(
+                f"claim {self.claim_id}: side must be 'lower' or 'upper', "
+                f"got {self.side!r}"
+            )
+        result = self._result(results)
+        points = _match_points(result, self.select)
+        if not points:
+            raise ExperimentError(
+                f"claim {self.claim_id}: selector {_fmt(self.select)!r} "
+                f"matched no points of sweep {result.sweep_name}"
+            )
+        expected = (
+            f"every T_av {'>=' if self.side == 'lower' else '<='} "
+            f"{self.factor:g} * bound"
+        )
+        worst: float = math.inf if self.side == "lower" else 0.0
+        failures = 0
+        for point in points:
+            threshold = self.factor * float(self.bound(point.params))
+            margin = point.estimate / threshold
+            if self.side == "lower":
+                worst = min(worst, margin)
+                if not point.estimate >= threshold:
+                    failures += 1
+            else:
+                worst = max(worst, margin)
+                if not point.estimate <= threshold:
+                    failures += 1
+        detail = (
+            f"{len(points)} points of {self.sweep}"
+            + (f"[{_fmt(self.select)}]" if self.select else "")
+            + (f"; {failures} violate the bound" if failures else "")
+        )
+        return self._verdict(failures == 0, float(worst), expected, detail)
+
+
+@dataclass(frozen=True, kw_only=True)
+class SpreadClaim(Claim):
+    """max/min of the matching estimates stays below ``max_ratio``."""
+
+    select: "Mapping[str, Any]" = field(default_factory=dict)
+    max_ratio: float
+
+    def evaluate(self, results: "Mapping[str, SweepResult]") -> ClaimVerdict:
+        result = self._result(results)
+        points = _match_points(result, self.select)
+        estimates = [
+            p.estimate
+            for p in points
+            if not p.is_censored and math.isfinite(p.estimate)
+        ]
+        expected = f"max/min <= {self.max_ratio:g}"
+        detail = f"{len(points)} points of {self.sweep}[{_fmt(self.select)}]"
+        if len(estimates) < 2:
+            return self._verdict(
+                False, "underdetermined", expected,
+                detail + "; fewer than two finite estimates",
+            )
+        if len(estimates) < len(points):
+            return self._verdict(
+                False, "censored", expected,
+                detail + f"; {len(points) - len(estimates)} censored points "
+                "in a set the claim says is insensitive",
+            )
+        spread = max(estimates) / min(estimates)
+        return self._verdict(spread <= self.max_ratio, float(spread), expected, detail)
+
+
+@dataclass(frozen=True, kw_only=True)
+class CensoringClaim(Claim):
+    """Named points must censor; named points must converge."""
+
+    censored: "tuple[Mapping[str, Any], ...]" = ()
+    finite: "tuple[Mapping[str, Any], ...]" = ()
+
+    def evaluate(self, results: "Mapping[str, SweepResult]") -> ClaimVerdict:
+        result = self._result(results)
+        wrong: "list[str]" = []
+        for select in self.censored:
+            if not _one_point(result, select).is_censored:
+                wrong.append(f"{_fmt(select)} converged (expected censored)")
+        for select in self.finite:
+            point = _one_point(result, select)
+            if point.is_censored or not math.isfinite(point.estimate):
+                wrong.append(f"{_fmt(select)} censored (expected finite)")
+        checked = len(self.censored) + len(self.finite)
+        expected = (
+            f"{len(self.censored)} censored and {len(self.finite)} finite"
+        )
+        if wrong:
+            return self._verdict(
+                False, f"{checked - len(wrong)}/{checked} as predicted",
+                expected, "; ".join(wrong),
+            )
+        return self._verdict(
+            True, f"{checked}/{checked} as predicted", expected,
+            f"censoring pattern of {self.sweep} matches the prediction",
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class DominanceClaim(Claim):
+    """Order-statistic dominance at every value of one axis.
+
+    At each axis value, the sorted replicate samples of the ``upper``
+    arm must sit at or above the sorted samples of the ``lower`` arm,
+    order statistic by order statistic, up to a multiplicative
+    ``margin`` of slack — the empirical form of stochastic dominance
+    the paper's coupling argument (Section 4) predicts between the
+    convex baseline and Algorithm A.
+    """
+
+    axis: str
+    upper: "Mapping[str, Any]"
+    lower: "Mapping[str, Any]"
+    margin: float = 1.0
+
+    def evaluate(self, results: "Mapping[str, SweepResult]") -> ClaimVerdict:
+        result = self._result(results)
+        expected = f"sorted({_fmt(self.upper)}) * {self.margin:g} >= sorted({_fmt(self.lower)})"
+        worst = 0.0
+        violations = 0
+        compared = 0
+        for value in result.axes[self.axis]:
+            up = _one_point(result, {**self.upper, self.axis: value})
+            lo = _one_point(result, {**self.lower, self.axis: value})
+            ups = np.sort(np.asarray(up.samples, dtype=float))
+            los = np.sort(np.asarray(lo.samples, dtype=float))
+            if np.isnan(ups).any() or np.isnan(los).any():
+                return self._verdict(
+                    False, "diverged", expected,
+                    f"diverged replicates at {self.axis}={value}",
+                )
+            k = min(len(ups), len(los))
+            for u, lo_k in zip(ups[:k], los[:k]):
+                compared += 1
+                if math.isinf(u):
+                    continue
+                worst = max(worst, lo_k / u)
+                if lo_k > self.margin * u:
+                    violations += 1
+        detail = (
+            f"{compared} order-statistic pairs across "
+            f"{self.axis} in {list(result.axes[self.axis])}"
+            + (f"; {violations} violations" if violations else "")
+        )
+        return self._verdict(violations == 0, float(worst), expected, detail)
+
+
+# ----------------------------------------------------------------------
+# bound reconstruction (from stored point params alone)
+# ----------------------------------------------------------------------
+
+
+def _e1_bound(params: "Mapping[str, Any]") -> float:
+    """Theorem 1's lower bound for the stored E1 instance."""
+    from repro.analysis.bounds import theorem1_lower_bound
+    from repro.experiments.specs_sweeps import build_size_pair
+
+    pair = build_size_pair(
+        int(params["n"]), degree=int(params["degree"]), seed=int(params["seed"])
+    )
+    return theorem1_lower_bound(pair.partition)
+
+
+def _e2_bound(params: "Mapping[str, Any]") -> float:
+    """Theorem 2's envelope for the stored E2 instance (legacy check
+    shape: ``T_av <= 4 * (bound + 2)``; the +2 absorbs the additive
+    settling term at tiny sizes)."""
+    from repro.analysis.bounds import theorem2_upper_bound
+    from repro.experiments.specs_sweeps import build_size_pair
+
+    pair = build_size_pair(
+        int(params["n"]), degree=int(params["degree"]), seed=int(params["seed"])
+    )
+    return theorem2_upper_bound(pair.partition, constant=3.0) + 2.0
+
+
+# ----------------------------------------------------------------------
+# the catalogue
+# ----------------------------------------------------------------------
+
+CLAIMS: "tuple[Claim, ...]" = (
+    BoundClaim(
+        claim_id="E1-thm1-bound",
+        experiment_id="E1",
+        sweep="E1",
+        paper_ref="Theorem 1",
+        statement="Every class-C algorithm needs T_av >= Omega(n1*n2 / (n |E12|)) "
+                  "on a single-bridge expander pair.",
+        bound=_e1_bound,
+        side="lower",
+    ),
+    BoundClaim(
+        claim_id="E2-thm2-envelope",
+        experiment_id="E2",
+        sweep="E2",
+        paper_ref="Theorem 2",
+        statement="Algorithm A finishes within a constant multiple of the "
+                  "O((n1*n2/n + T_mix) log n) envelope.",
+        bound=_e2_bound,
+        side="upper",
+        factor=4.0,
+    ),
+    ExponentClaim(
+        claim_id="E3-vanilla-linear",
+        experiment_id="E3",
+        sweep="E3",
+        paper_ref="Section 1 (dumbbell headline)",
+        statement="Vanilla gossip's averaging time on the dumbbell grows "
+                  "linearly in n (the cut bottleneck: Theta(n1*n2/n)).",
+        axis="n",
+        select={"algorithm": "vanilla"},
+        low=0.7,
+        high=1.5,
+    ),
+    RatioClaim(
+        claim_id="E3-speedup",
+        experiment_id="E3",
+        sweep="E3",
+        paper_ref="Section 1 (dumbbell headline)",
+        statement="At the largest dumbbell, Algorithm A beats vanilla by "
+                  "at least 4x.",
+        numerator={"algorithm": "vanilla"},
+        denominator={"algorithm": "algorithm_a"},
+        axis="n",
+        low=4.0,
+        high=math.inf,
+    ),
+    DominanceClaim(
+        claim_id="E6-dominance",
+        experiment_id="E6",
+        sweep="E3",
+        paper_ref="Section 4 (coupling argument)",
+        statement="Algorithm A's averaging-time distribution is stochastically "
+                  "dominated by vanilla's at every dumbbell size.",
+        axis="n",
+        upper={"algorithm": "vanilla"},
+        lower={"algorithm": "algorithm_a"},
+        margin=1.1,
+    ),
+    SpreadClaim(
+        claim_id="E4-width-insensitivity",
+        experiment_id="E4",
+        sweep="E4",
+        paper_ref="Theorem 2 (T_mix term)",
+        statement="Algorithm A's averaging time is insensitive to cut width "
+                  "(the swap needs one designated edge, not a wide cut).",
+        select={"algorithm": "algorithm_a"},
+        max_ratio=5.0,
+    ),
+    CensoringClaim(
+        claim_id="E5-gain-censoring",
+        experiment_id="E5",
+        sweep="E5",
+        paper_ref="Algorithm A, step 2 (DESIGN.md F1)",
+        statement="At the balanced partition the paper's printed swap gain "
+                  "stalls (censors) while the exact mass-balancing gain "
+                  "converges.",
+        censored=({"gain": "paper", "fraction": 0.5},),
+        finite=({"gain": "exact", "fraction": 0.5},),
+    ),
+    RatioClaim(
+        claim_id="E13-lossy-slowdown",
+        experiment_id="E13",
+        sweep="E13",
+        paper_ref="Section 2 (tick-count model)",
+        statement="Dropping 30% of ticks slows vanilla by at most the "
+                  "budget-rescaling factor 1/(1-p) plus noise — losses cost "
+                  "time, never correctness.",
+        numerator={"config": "vanilla_lossy"},
+        denominator={"config": "vanilla_healthy"},
+        low=1.0,
+        high=2.6,
+    ),
+    CensoringClaim(
+        claim_id="E13-failover",
+        experiment_id="E13",
+        sweep="E13",
+        paper_ref="Algorithm A (designated-edge assumption)",
+        statement="Killing the designated edge stalls plain Algorithm A, "
+                  "while vanilla and the resilient variant route around it "
+                  "over the surviving bridges.",
+        censored=({"config": "algorithm_a_failing"},),
+        finite=(
+            {"config": "vanilla_failing"},
+            {"config": "resilient_failing"},
+        ),
+    ),
+)
+
+
+def get_claims(ids: "Sequence[str] | None" = None) -> "tuple[Claim, ...]":
+    """The catalogue, optionally narrowed to specific claim ids."""
+    if ids is None:
+        return CLAIMS
+    by_id = {claim.claim_id: claim for claim in CLAIMS}
+    unknown = [i for i in ids if i not in by_id]
+    if unknown:
+        raise ExperimentError(
+            f"unknown claim ids {unknown}; available: {sorted(by_id)}"
+        )
+    return tuple(by_id[i] for i in ids)
+
+
+def required_sweeps(claims: "Sequence[Claim]") -> "dict[str, int]":
+    """Sweep id -> root seed needed to evaluate ``claims``."""
+    needed = {}
+    for claim in claims:
+        if claim.sweep not in CLAIM_SEEDS:
+            raise ExperimentError(
+                f"claim {claim.claim_id} references sweep {claim.sweep!r} "
+                f"with no registered claim seed; known: {sorted(CLAIM_SEEDS)}"
+            )
+        needed[claim.sweep] = CLAIM_SEEDS[claim.sweep]
+    return needed
+
+
+def evaluate_claims(
+    claims: "Sequence[Claim]", results: "Mapping[str, SweepResult]"
+) -> "list[ClaimVerdict]":
+    """Every claim's verdict, in catalogue order."""
+    return [claim.evaluate(results) for claim in claims]
+
+
+def verdict_table(
+    claims: "Sequence[Claim]", verdicts: "Sequence[ClaimVerdict]"
+) -> Table:
+    """The CLI's verdict table (one row per claim)."""
+    table = Table(
+        ["claim", "paper ref", "verdict", "observed", "expected"],
+        title="claims",
+    )
+    for claim, verdict in zip(claims, verdicts):
+        table.add_row(
+            [
+                claim.claim_id,
+                claim.paper_ref,
+                "PASS" if verdict.passed else "FAIL",
+                verdict.observed,
+                verdict.expected,
+            ]
+        )
+    return table
+
+
+def claims_bundle(
+    claims: "Sequence[Claim]",
+    verdicts: "Sequence[ClaimVerdict]",
+    *,
+    scale: str,
+) -> dict:
+    """The schema-tagged payload ``verify-claims --out`` writes."""
+    return {
+        "schema": CLAIMS_SCHEMA,
+        "scale": scale,
+        "passed": all(v.passed for v in verdicts),
+        "claims": [
+            {
+                "experiment_id": claim.experiment_id,
+                "sweep": claim.sweep,
+                "paper_ref": claim.paper_ref,
+                "statement": claim.statement,
+                **verdict.to_dict(),
+            }
+            for claim, verdict in zip(claims, verdicts)
+        ],
+    }

@@ -1,0 +1,34 @@
+"""The E1-E14 report catalogue, keyed by experiment id."""
+
+from __future__ import annotations
+
+from repro.reports import (
+    catalog_analysis,
+    catalog_baselines,
+    catalog_extensions,
+    catalog_scaling,
+)
+from repro.reports.model import ReportSpec
+
+#: Every declared report, in experiment order.  The CLI's experiment
+#: registry (:mod:`repro.experiments.specs`) and the ``verify-claims``
+#: gate both read this table; there is no other report path.
+REPORT_SPECS: "dict[str, ReportSpec]" = {
+    spec.experiment_id: spec
+    for spec in (
+        catalog_scaling.E1,
+        catalog_scaling.E2,
+        catalog_scaling.E3,
+        catalog_scaling.E4,
+        catalog_scaling.E5,
+        catalog_analysis.E6,
+        catalog_analysis.E7,
+        catalog_baselines.E8,
+        catalog_baselines.E9,
+        catalog_baselines.E10,
+        catalog_extensions.E11,
+        catalog_extensions.E12,
+        catalog_extensions.E13,
+        catalog_extensions.E14,
+    )
+}

@@ -1,0 +1,109 @@
+"""Integration: the ``verify-claims`` drift gate end to end.
+
+The CI contract, exercised through the real CLI: a fresh store is
+seeded by the gate itself (compute-through-store), a rerun is a pure
+read (``--no-compute``), missing data is a clean exit 2 with the
+seeding command, and *injected drift* — stored numbers perturbed out
+of tolerance — flips the exit code to 1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.store import ResultsStore
+from repro.engine.sweeps import SweepResult
+from repro.experiments.cli import main
+from repro.reports.claims import CLAIMS_SCHEMA
+
+E3_CLAIMS = "E3-speedup,E6-dominance"
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+
+
+def test_gate_seeds_verifies_and_rereads(tmp_path, capsys):
+    db = tmp_path / "claims.sqlite"
+    out = tmp_path / "bundle"
+
+    # First pass computes through the store and writes the bundle.
+    assert main([
+        "verify-claims", "--scale", "smoke", "--claims", E3_CLAIMS,
+        "--store", str(db), "--out", str(out),
+    ]) == 0
+    stdout = capsys.readouterr().out
+    assert "PASS" in stdout and "FAIL" not in stdout
+    assert "2/2 passed" in stdout
+
+    bundle = json.loads((out / "claims.json").read_text())
+    assert bundle["schema"] == CLAIMS_SCHEMA
+    assert bundle["passed"] is True
+    assert [c["claim_id"] for c in bundle["claims"]] == E3_CLAIMS.split(",")
+    assert (out / "claims.txt").read_text().startswith("claims")
+    assert (out / "sweep_e3.json").exists()
+
+    # Second pass must resolve purely from recorded data.
+    assert main([
+        "verify-claims", "--scale", "smoke", "--claims", E3_CLAIMS,
+        "--store", str(db), "--no-compute",
+    ]) == 0
+    capsys.readouterr()
+    assert len(ResultsStore(db).runs(sweep_name="E3", status="done")) == 1
+
+
+def test_gate_without_data_exits_two_with_seeding_hint(tmp_path, capsys):
+    assert main([
+        "verify-claims", "--scale", "smoke", "--claims", "E3-speedup",
+        "--store", str(tmp_path / "empty.sqlite"), "--no-compute",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "repro-experiments sweep E3 --scale smoke --seed 13" in err
+
+
+def test_injected_drift_flips_the_gate(tmp_path, capsys):
+    out = tmp_path / "bundle"
+    assert main([
+        "verify-claims", "--scale", "smoke", "--claims", "E3-speedup",
+        "--out", str(out),
+    ]) == 0
+    capsys.readouterr()
+
+    # Drift fixture: inflate Algorithm A's stored times tenfold — the
+    # configuration identity (and so the artifact fingerprint) is
+    # unchanged, only the measured values drift.
+    drift = tmp_path / "drift"
+    drift.mkdir()
+    payload = SweepResult.load(out / "sweep_e3.json").to_dict()
+    for point in payload["points"]:
+        if point["params"]["algorithm"] == "algorithm_a":
+            point["estimate"] *= 10.0
+    SweepResult.from_dict(payload).save(drift / "sweep_e3.json")
+
+    assert main([
+        "verify-claims", "--scale", "smoke", "--claims", "E3-speedup",
+        "--artifacts", str(drift), "--no-compute",
+    ]) == 1
+    stdout = capsys.readouterr().out
+    assert "FAIL" in stdout
+    assert "0/1 passed" in stdout
+
+
+def test_unknown_claim_id_exits_two(capsys):
+    assert main(["verify-claims", "--claims", "bogus"]) == 2
+    assert "unknown claim ids" in capsys.readouterr().err
+
+
+def test_run_with_store_records_and_reuses_sweeps(tmp_path, capsys):
+    db = tmp_path / "runs.sqlite"
+    assert main(["run", "E1", "--scale", "smoke", "--store", str(db)]) == 0
+    capsys.readouterr()
+    store = ResultsStore(db)
+    assert len(store.runs(sweep_name="E1", status="done")) == 1
+    # A rerun resolves from the store instead of recording a second row.
+    assert main(["run", "E1", "--scale", "smoke", "--store", str(db)]) == 0
+    capsys.readouterr()
+    assert len(store.runs(sweep_name="E1", status="done")) == 1

@@ -1,0 +1,404 @@
+"""Unit tests for the machine-checkable claim catalogue.
+
+Every claim kind is pinned on hand-built :class:`SweepResult` fixtures
+where the right verdict is known by construction — the drift gate's
+predicates must pass exactly when the stored numbers sit inside the
+declared tolerance and fail (with a diagnosable detail string) when
+they do not.  The CI-facing surfaces (``get_claims``, catalogue
+integrity, the bundle payload) are pinned here too.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.sweeps import PointResult, ReplicateBudget, SweepResult
+from repro.errors import ExperimentError
+from repro.reports.claims import (
+    CLAIM_SEEDS,
+    CLAIMS,
+    CLAIMS_SCHEMA,
+    BoundClaim,
+    CensoringClaim,
+    DominanceClaim,
+    ExponentClaim,
+    RatioClaim,
+    SpreadClaim,
+    claims_bundle,
+    evaluate_claims,
+    get_claims,
+    required_sweeps,
+    verdict_table,
+)
+
+
+def make_point(index, params, estimate, samples=None):
+    if samples is None:
+        samples = [estimate] * 3
+    return PointResult(
+        index=index,
+        params=dict(params),
+        estimate=estimate,
+        ci_low=estimate,
+        ci_high=estimate,
+        quantile=0.5,
+        threshold=1e-3,
+        samples=list(samples),
+        n_censored=sum(1 for s in samples if math.isinf(s)),
+        n_diverged=sum(1 for s in samples if math.isnan(s)),
+        budget_exhausted=False,
+    )
+
+
+def make_result(name, axes, rows):
+    """``rows`` is a list of (params, estimate) or (params, estimate,
+    samples) tuples."""
+    points = [make_point(i, *row) for i, row in enumerate(rows)]
+    return SweepResult(
+        sweep_name=name,
+        axes={k: list(v) for k, v in axes.items()},
+        seed=0,
+        budget=ReplicateBudget.fixed(3),
+        points=points,
+    )
+
+
+class TestExponentClaim:
+    CLAIM = ExponentClaim(
+        claim_id="x-linear",
+        experiment_id="EX",
+        sweep="X",
+        paper_ref="ref",
+        statement="s",
+        axis="n",
+        select={"algorithm": "vanilla"},
+        low=0.7,
+        high=1.5,
+    )
+
+    def _result(self, exponent):
+        rows = []
+        for n in (16, 32, 64):
+            rows.append(({"n": n, "algorithm": "vanilla"}, 0.5 * n**exponent))
+            rows.append(({"n": n, "algorithm": "other"}, 1.0))
+        return make_result("X", {"n": [16, 32, 64]}, rows)
+
+    def test_in_band_passes_and_reports_the_fit(self):
+        verdict = self.CLAIM.evaluate({"X": self._result(1.0)})
+        assert verdict.passed
+        assert verdict.observed == pytest.approx(1.0, abs=1e-9)
+        assert "3 points" in verdict.detail
+
+    @pytest.mark.parametrize("exponent", [0.4, 2.0])
+    def test_out_of_band_fails(self, exponent):
+        verdict = self.CLAIM.evaluate({"X": self._result(exponent)})
+        assert not verdict.passed
+        assert verdict.observed == pytest.approx(exponent, abs=1e-9)
+
+    def test_underdetermined_fit_fails_loudly(self):
+        result = make_result(
+            "X", {"n": [16]}, [({"n": 16, "algorithm": "vanilla"}, 3.0)]
+        )
+        verdict = self.CLAIM.evaluate({"X": result})
+        assert not verdict.passed
+        assert verdict.observed == "underdetermined"
+
+    def test_censored_points_are_excluded_from_the_fit(self):
+        result = self._result(1.0)
+        result.points.append(
+            make_point(
+                99, {"n": 128, "algorithm": "vanilla"}, math.inf,
+                samples=[math.inf] * 3,
+            )
+        )
+        verdict = self.CLAIM.evaluate({"X": result})
+        assert verdict.passed
+        assert "1 censored excluded" in verdict.detail
+
+    def test_missing_sweep_is_an_experiment_error(self):
+        with pytest.raises(ExperimentError, match="needs sweep 'X'"):
+            self.CLAIM.evaluate({})
+
+
+class TestRatioClaim:
+    CLAIM = RatioClaim(
+        claim_id="x-speedup",
+        experiment_id="EX",
+        sweep="X",
+        paper_ref="ref",
+        statement="s",
+        numerator={"algorithm": "vanilla"},
+        denominator={"algorithm": "a"},
+        axis="n",
+        low=4.0,
+        high=math.inf,
+    )
+
+    def _result(self, ratio_at_64):
+        rows = [
+            ({"n": 32, "algorithm": "vanilla"}, 10.0),
+            ({"n": 32, "algorithm": "a"}, 10.0),
+            ({"n": 64, "algorithm": "vanilla"}, 2.0 * ratio_at_64),
+            ({"n": 64, "algorithm": "a"}, 2.0),
+        ]
+        return make_result("X", {"n": [32, 64]}, rows)
+
+    def test_pins_both_selectors_to_the_largest_axis_value(self):
+        verdict = self.CLAIM.evaluate({"X": self._result(5.0)})
+        assert verdict.passed
+        assert verdict.observed == pytest.approx(5.0)
+        assert "at n=64" in verdict.detail
+
+    def test_below_band_fails(self):
+        verdict = self.CLAIM.evaluate({"X": self._result(3.0)})
+        assert not verdict.passed
+
+    def test_censored_denominator_fails_explicitly(self):
+        rows = [
+            ({"n": 32, "algorithm": "vanilla"}, 10.0),
+            ({"n": 32, "algorithm": "a"}, math.inf),
+        ]
+        result = make_result("X", {"n": [32]}, rows)
+        verdict = self.CLAIM.evaluate({"X": result})
+        assert not verdict.passed
+        assert verdict.observed == "denominator censored"
+
+    def test_ambiguous_selector_is_an_experiment_error(self):
+        rows = [
+            ({"n": 32, "algorithm": "vanilla", "rep": 0}, 1.0),
+            ({"n": 32, "algorithm": "vanilla", "rep": 1}, 1.0),
+            ({"n": 32, "algorithm": "a"}, 1.0),
+        ]
+        result = make_result("X", {"n": [32]}, rows)
+        with pytest.raises(ExperimentError, match="matched 2 points"):
+            self.CLAIM.evaluate({"X": result})
+
+
+class TestBoundClaim:
+    @staticmethod
+    def _bound(params):
+        return float(params["n"])
+
+    def _claim(self, side, factor=1.0):
+        return BoundClaim(
+            claim_id="x-bound",
+            experiment_id="EX",
+            sweep="X",
+            paper_ref="ref",
+            statement="s",
+            bound=self._bound,
+            side=side,
+            factor=factor,
+        )
+
+    def test_lower_bound_margin_is_the_worst_ratio(self):
+        result = make_result(
+            "X", {"n": [10, 20]},
+            [({"n": 10}, 15.0), ({"n": 20}, 24.0)],
+        )
+        verdict = self._claim("lower").evaluate({"X": result})
+        assert verdict.passed
+        assert verdict.observed == pytest.approx(1.2)  # 24/20 < 15/10
+
+    def test_single_violation_fails_and_is_counted(self):
+        result = make_result(
+            "X", {"n": [10, 20]},
+            [({"n": 10}, 15.0), ({"n": 20}, 19.0)],
+        )
+        verdict = self._claim("lower").evaluate({"X": result})
+        assert not verdict.passed
+        assert "1 violate the bound" in verdict.detail
+
+    def test_upper_bound_respects_factor(self):
+        result = make_result("X", {"n": [10]}, [({"n": 10}, 35.0)])
+        assert self._claim("upper", factor=4.0).evaluate({"X": result}).passed
+        assert not self._claim("upper", factor=3.0).evaluate({"X": result}).passed
+
+    def test_censored_point_fails_an_upper_bound(self):
+        result = make_result("X", {"n": [10]}, [({"n": 10}, math.inf)])
+        verdict = self._claim("upper", factor=4.0).evaluate({"X": result})
+        assert not verdict.passed
+
+    def test_bad_side_is_an_experiment_error(self):
+        result = make_result("X", {"n": [10]}, [({"n": 10}, 1.0)])
+        with pytest.raises(ExperimentError, match="side"):
+            self._claim("sideways").evaluate({"X": result})
+
+
+class TestSpreadClaim:
+    CLAIM = SpreadClaim(
+        claim_id="x-flat",
+        experiment_id="EX",
+        sweep="X",
+        paper_ref="ref",
+        statement="s",
+        select={"algorithm": "a"},
+        max_ratio=5.0,
+    )
+
+    def _result(self, estimates):
+        rows = [
+            ({"w": i, "algorithm": "a"}, est) for i, est in enumerate(estimates)
+        ]
+        return make_result("X", {"w": list(range(len(estimates)))}, rows)
+
+    def test_flat_set_passes(self):
+        verdict = self.CLAIM.evaluate({"X": self._result([2.0, 3.0, 4.0])})
+        assert verdict.passed
+        assert verdict.observed == pytest.approx(2.0)
+
+    def test_wide_spread_fails(self):
+        assert not self.CLAIM.evaluate({"X": self._result([1.0, 6.0])}).passed
+
+    def test_censored_member_fails_the_insensitivity_claim(self):
+        verdict = self.CLAIM.evaluate({"X": self._result([2.0, 3.0, math.inf])})
+        assert not verdict.passed
+        assert verdict.observed == "censored"
+
+    def test_fewer_than_two_finite_points_is_underdetermined(self):
+        verdict = self.CLAIM.evaluate({"X": self._result([math.inf])})
+        assert not verdict.passed
+        assert verdict.observed == "underdetermined"
+
+
+class TestCensoringAndDominance:
+    def test_censoring_pattern_match_and_mismatch(self):
+        claim = CensoringClaim(
+            claim_id="x-cens",
+            experiment_id="EX",
+            sweep="X",
+            paper_ref="ref",
+            statement="s",
+            censored=({"config": "broken"},),
+            finite=({"config": "healthy"},),
+        )
+        good = make_result(
+            "X", {"config": ["broken", "healthy"]},
+            [({"config": "broken"}, math.inf), ({"config": "healthy"}, 2.0)],
+        )
+        verdict = claim.evaluate({"X": good})
+        assert verdict.passed
+        assert verdict.observed == "2/2 as predicted"
+
+        bad = make_result(
+            "X", {"config": ["broken", "healthy"]},
+            [({"config": "broken"}, 1.0), ({"config": "healthy"}, 2.0)],
+        )
+        verdict = claim.evaluate({"X": bad})
+        assert not verdict.passed
+        assert "converged (expected censored)" in verdict.detail
+
+    def _dominance_claim(self, margin=1.0):
+        return DominanceClaim(
+            claim_id="x-dom",
+            experiment_id="EX",
+            sweep="X",
+            paper_ref="ref",
+            statement="s",
+            axis="n",
+            upper={"algorithm": "slow"},
+            lower={"algorithm": "fast"},
+            margin=margin,
+        )
+
+    def _dominance_result(self, fast_samples):
+        rows = [
+            ({"n": 16, "algorithm": "slow"}, 4.0, [3.0, 4.0, 5.0]),
+            ({"n": 16, "algorithm": "fast"}, 1.0, fast_samples),
+        ]
+        return make_result("X", {"n": [16]}, rows)
+
+    def test_orderwise_dominated_samples_pass(self):
+        result = self._dominance_result([1.0, 2.0, 3.0])
+        assert self._dominance_claim().evaluate({"X": result}).passed
+
+    def test_one_crossed_order_statistic_fails(self):
+        result = self._dominance_result([1.0, 2.0, 5.5])
+        verdict = self._dominance_claim().evaluate({"X": result})
+        assert not verdict.passed
+        assert "1 violations" in verdict.detail
+
+    def test_margin_absorbs_small_crossings(self):
+        result = self._dominance_result([1.0, 2.0, 5.4])
+        assert self._dominance_claim(margin=1.1).evaluate({"X": result}).passed
+
+    def test_censored_upper_samples_dominate_anything(self):
+        rows = [
+            ({"n": 16, "algorithm": "slow"}, math.inf, [math.inf] * 3),
+            ({"n": 16, "algorithm": "fast"}, 2.0, [1.0, 2.0, 3.0]),
+        ]
+        result = make_result("X", {"n": [16]}, rows)
+        assert self._dominance_claim().evaluate({"X": result}).passed
+
+    def test_diverged_samples_fail_outright(self):
+        result = self._dominance_result([1.0, math.nan, 2.0])
+        verdict = self._dominance_claim().evaluate({"X": result})
+        assert not verdict.passed
+        assert verdict.observed == "diverged"
+
+
+class TestCatalogueApi:
+    def test_catalogue_covers_the_papers_headline_claims(self):
+        ids = {claim.claim_id for claim in CLAIMS}
+        assert len(CLAIMS) >= 6
+        assert {
+            "E1-thm1-bound",
+            "E2-thm2-envelope",
+            "E3-vanilla-linear",
+            "E3-speedup",
+            "E6-dominance",
+            "E13-lossy-slowdown",
+        } <= ids
+
+    def test_every_claim_sweep_has_a_registered_seed(self):
+        assert required_sweeps(CLAIMS) == {
+            sweep: CLAIM_SEEDS[sweep] for sweep in {c.sweep for c in CLAIMS}
+        }
+
+    def test_get_claims_narrows_and_validates(self):
+        (claim,) = get_claims(["E3-speedup"])
+        assert claim.claim_id == "E3-speedup"
+        assert get_claims() is CLAIMS
+        with pytest.raises(ExperimentError, match="unknown claim ids"):
+            get_claims(["E3-speedup", "bogus"])
+
+    def test_unregistered_sweep_seed_is_an_experiment_error(self):
+        stray = ExponentClaim(
+            claim_id="stray",
+            experiment_id="EX",
+            sweep="NOPE",
+            paper_ref="r",
+            statement="s",
+            axis="n",
+            low=0.0,
+            high=1.0,
+        )
+        with pytest.raises(ExperimentError, match="no registered claim seed"):
+            required_sweeps([stray])
+
+    def test_bundle_and_table_reflect_the_verdicts(self):
+        claims = get_claims(["E3-speedup"])
+        rows = [
+            ({"n": 32, "algorithm": "vanilla"}, 50.0),
+            ({"n": 32, "algorithm": "algorithm_a"}, 5.0),
+        ]
+        results = {"E3": make_result("E3", {"n": [32]}, rows)}
+        verdicts = evaluate_claims(claims, results)
+        bundle = claims_bundle(claims, verdicts, scale="smoke")
+        assert bundle["schema"] == CLAIMS_SCHEMA
+        assert bundle["passed"] is True
+        (entry,) = bundle["claims"]
+        assert entry["claim_id"] == "E3-speedup"
+        assert entry["paper_ref"] == claims[0].paper_ref
+        assert entry["observed"] == pytest.approx(10.0)
+        rendered = verdict_table(claims, verdicts).render()
+        assert "PASS" in rendered and "E3-speedup" in rendered
+
+        rows[0] = ({"n": 32, "algorithm": "vanilla"}, 6.0)
+        results = {"E3": make_result("E3", {"n": [32]}, rows)}
+        verdicts = evaluate_claims(claims, results)
+        bundle = claims_bundle(claims, verdicts, scale="smoke")
+        assert bundle["passed"] is False
+        assert "FAIL" in verdict_table(claims, verdicts).render()

@@ -423,3 +423,80 @@ class TestStoreCli:
         main, db, _ = self._seed_store(tmp_path)
         assert main(["store", "--db", str(db), "show", "missing-ffffffffffff"]) == 2
         assert "store list" in capsys.readouterr().err
+
+
+class TestTypedQueries:
+    """The read-side API the report/claims pipeline consumes:
+    ``results_for_sweep`` (query-by-experiment) and ``latest_result``."""
+
+    def _seed(self, store, *, names=("TINY",), seeds=(5,)):
+        outcomes = []
+        for name in names:
+            for seed in seeds:
+                outcomes.append(
+                    run_sweep_cached(
+                        tiny_spec(name=name), store=store, seed=seed,
+                        budget=ReplicateBudget.fixed(1), code_version="c",
+                    )
+                )
+        return outcomes
+
+    def test_results_for_sweep_returns_done_rows_with_results(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        self._seed(store, names=("TINY", "OTHER"), seeds=(5, 6))
+        rows = store.results_for_sweep("TINY")
+        assert len(rows) == 2
+        for run, result in rows:
+            assert run.status == "done"
+            assert run.sweep_name == "TINY"
+            assert result.sweep_name == "TINY"
+        assert {result.seed for _, result in rows} == {5, 6}
+
+    def test_results_for_sweep_skips_unfinished_and_failed_rows(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        (done,) = self._seed(store)
+        queued, _ = store.begin_run("f" * 64, "TINY")
+        failed, _ = store.begin_run("e" * 64, "TINY")
+        store.fail(failed.run_id, "worker lost")
+        rows = store.results_for_sweep("TINY")
+        assert [run.run_id for run, _ in rows] == [done.run_id]
+
+    def test_latest_result_returns_the_newest_done_run(self, tmp_path):
+        db = tmp_path / "store.sqlite"
+        store = ResultsStore(db)
+        first, second = self._seed(store, seeds=(5, 6))
+        # Same-second creation would leave "newest" ambiguous; age the
+        # first run explicitly.
+        with sqlite3.connect(db) as conn:
+            conn.execute(
+                "UPDATE runs SET created_utc = '2000-01-01T00:00:00Z' "
+                "WHERE run_id = ?",
+                (first.run_id,),
+            )
+        run, result = store.latest_result("TINY")
+        assert run.run_id == second.run_id
+        assert canonical_result_text(result) == canonical_result_text(
+            second.result
+        )
+
+    def test_latest_result_missing_sweep_names_the_seeding_command(
+        self, tmp_path
+    ):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        self._seed(store)
+        with pytest.raises(StoreError) as err:
+            store.latest_result("E3")
+        message = str(err.value)
+        assert "no completed runs of sweep 'E3'" in message
+        assert "repro-experiments sweep E3" in message
+
+    def test_schema_mismatch_fails_before_any_read(self, tmp_path):
+        db = tmp_path / "store.sqlite"
+        ResultsStore(db)
+        with sqlite3.connect(db) as conn:
+            conn.execute(
+                "UPDATE meta SET value = 'repro-store/v999' "
+                "WHERE key = 'schema'"
+            )
+        with pytest.raises(StoreError, match="repro-store/v999"):
+            ResultsStore(db)
